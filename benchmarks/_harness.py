@@ -1,0 +1,65 @@
+"""Shared infrastructure for the figure-regeneration benches.
+
+Every bench regenerates one table or figure of the paper as printed
+series (and persists it under ``results/``).  Scales:
+
+* default — the reduced "paper" replica scale; the whole suite runs in a
+  few minutes;
+* ``REPRO_FULL_SCALE=1`` — the published trace sizes (much slower).
+
+``REPRO_BENCH_DELTAS`` overrides the sweep grid size.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.datasets import dataset_spec, load
+from repro.linkstream.stream import LinkStream
+from repro.utils.timeunits import HOUR, format_duration
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+
+def bench_scale() -> str:
+    return "full" if full_scale() else "paper"
+
+
+def sweep_size(default: int = 28) -> int:
+    override = os.environ.get("REPRO_BENCH_DELTAS", "")
+    return int(override) if override else default
+
+
+def dataset_stream(name: str, *, seed: int = 0) -> LinkStream:
+    """The replica stream for a dataset at the bench scale."""
+    return load(name, scale=bench_scale(), seed=seed)
+
+
+def paper_gamma_hours(name: str) -> float:
+    return dataset_spec(name).gamma_paper_hours
+
+
+def hours(seconds: float) -> float:
+    return seconds / HOUR
+
+
+def emit(capsys, name: str, text: str) -> None:
+    """Print a report through pytest's capture and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    with capsys.disabled():
+        print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
+        print(text)
+
+
+def describe_gamma(measured_s: float, paper_h: float) -> str:
+    return (
+        f"gamma measured = {format_duration(measured_s)} "
+        f"({hours(measured_s):.2f} h); paper reports {paper_h:g} h on the "
+        f"original trace"
+    )

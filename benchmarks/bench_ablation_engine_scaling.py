@@ -1,0 +1,48 @@
+"""Ablation — the backward scan's O(nM) complexity claim (Section 5).
+
+Times the minimal-trips scan while scaling the event count M at fixed n
+and the node count n at (roughly) fixed M.  The paper claims the
+dynamic program runs in O(nM); the measured ratios should grow close to
+linearly with each factor.
+
+This is the one bench where pytest-benchmark's timing is the result
+itself, so the scan runs with normal (multi-round) measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphseries import aggregate
+from repro.linkstream import LinkStream
+from repro.temporal import scan_series
+
+
+def _uniform_stream(num_nodes: int, num_events: int, seed: int = 0) -> LinkStream:
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, num_nodes, num_events)
+    v = (u + 1 + rng.integers(0, num_nodes - 1, num_events)) % num_nodes
+    t = rng.integers(0, 50_000, num_events)
+    return LinkStream(u, v, t, num_nodes=num_nodes)
+
+
+@pytest.mark.parametrize("num_events", [2_000, 8_000])
+def test_scan_scaling_in_events(benchmark, num_events):
+    series = aggregate(_uniform_stream(64, num_events), 100.0)
+    result = benchmark(scan_series, series)
+    assert result.num_trips > 0
+
+
+@pytest.mark.parametrize("num_nodes", [32, 128])
+def test_scan_scaling_in_nodes(benchmark, num_nodes):
+    series = aggregate(_uniform_stream(num_nodes, 4_000), 100.0)
+    result = benchmark(scan_series, series)
+    assert result.num_trips > 0
+
+
+def test_scan_full_resolution(benchmark):
+    """Worst case of the sweep: one window per distinct timestamp."""
+    series = aggregate(_uniform_stream(64, 4_000), 1.0)
+    result = benchmark(scan_series, series)
+    assert result.num_steps >= 4_000 * 0.8

@@ -1,0 +1,46 @@
+"""Ablation — occupancy accumulator resolution.
+
+The sweep's default accumulator bins occupancy rates into 4096 cells
+(keeping the atom at 1 exact).  This bench checks the engineering
+choice: the M-K proximity computed from coarse histograms converges to
+the exact-collection value well before 4096 bins, so the default loses
+nothing while bounding memory.
+"""
+
+from __future__ import annotations
+
+from _harness import emit
+
+from repro.core import series_occupancy
+from repro.graphseries import aggregate
+from repro.reporting import render_table
+
+BIN_COUNTS = (64, 256, 1024, 4096)
+
+
+def test_ablation_histogram_bins(benchmark, capsys, irvine_stream, irvine_sweep):
+    delta = irvine_sweep.gamma  # measure at the most stretched state
+    series = aggregate(irvine_stream, delta)
+
+    def compute():
+        exact, __ = series_occupancy(series, exact=True)
+        reference = exact.mk_proximity()
+        rows = []
+        for bins in BIN_COUNTS:
+            dist, __ = series_occupancy(series, bins=bins)
+            rows.append((bins, dist.mk_proximity(), abs(dist.mk_proximity() - reference)))
+        return reference, rows
+
+    reference, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = render_table(
+        ["bins", "mk_proximity", "abs_error_vs_exact"],
+        [[b, p, e] for b, p, e in rows],
+        title=f"Ablation — histogram resolution at gamma (exact mk = {reference:.6f})",
+    )
+    emit(capsys, "ablation_histogram_bins", table)
+
+    errors = {b: e for b, __, e in rows}
+    assert errors[4096] < 1e-3
+    assert errors[1024] < 4e-3
+    # Error decreases with resolution.
+    assert errors[4096] <= errors[64] + 1e-12

@@ -1,0 +1,44 @@
+"""Ablation — Shannon-entropy slot-count sensitivity (Section 7).
+
+The paper: with few slots the Shannon selector drifts to larger periods;
+with many (k = 100) it favors short periods and returns less than half
+the k = 10 value.  This bench rescoring the cached Irvine sweep with
+k in {5, 10, 20, 100} quantifies that drift.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, hours
+
+from repro.core import shannon_method
+from repro.reporting import render_table
+
+SLOTS = (5, 10, 20, 100)
+
+
+def test_ablation_shannon_slots(benchmark, capsys, irvine_sweep):
+    result = irvine_sweep
+
+    def select_per_slot_count():
+        chosen = {}
+        for slots in SLOTS:
+            method = shannon_method(slots)
+            scores = [method.score(p.distribution) for p in result.points]
+            best = max(range(len(scores)), key=scores.__getitem__)
+            chosen[slots] = result.points[best].delta
+        return chosen
+
+    chosen = benchmark.pedantic(select_per_slot_count, rounds=1, iterations=1)
+    mk_gamma = result.gamma
+    table = render_table(
+        ["shannon_slots", "selected_delta_h", "ratio_to_mk_gamma"],
+        [[s, hours(d), d / mk_gamma] for s, d in chosen.items()],
+        title="Ablation — Shannon slot count vs selected period (Irvine)",
+    )
+    emit(capsys, "ablation_shannon_slots", table)
+
+    # Orders of magnitude are preserved for moderate k (paper's claim).
+    for slots in (5, 10, 20):
+        assert 0.1 * mk_gamma <= chosen[slots] <= 10 * mk_gamma
+    # Large k drifts toward smaller periods relative to few slots.
+    assert chosen[100] <= chosen[5]

@@ -1,0 +1,43 @@
+"""Ablation — Δ-grid density and two-stage refinement.
+
+γ is the argmax of the proximity curve over a finite grid, so its value
+is quantized by the grid.  This bench measures γ's stability as the
+grid densifies and shows the refine-rounds option recovers fine-grid
+accuracy from a coarse first pass at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, hours
+
+from repro.core import occupancy_method
+from repro.reporting import render_table
+
+GRID_SIZES = (10, 18, 34)
+
+
+def test_ablation_sweep_resolution(benchmark, capsys, irvine_stream):
+    def run_all():
+        outcomes = {}
+        for num in GRID_SIZES:
+            result = occupancy_method(irvine_stream, num_deltas=num, bins=2048)
+            outcomes[f"grid-{num}"] = (result.gamma, len(result.points))
+        refined = occupancy_method(
+            irvine_stream, num_deltas=10, bins=2048, refine_rounds=2, refine_points=5
+        )
+        outcomes["grid-10+refine2x5"] = (refined.gamma, len(refined.points))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        ["strategy", "gamma_h", "evaluations"],
+        [[k, hours(g), n] for k, (g, n) in outcomes.items()],
+        title="Ablation — gamma vs sweep-grid density (Irvine)",
+    )
+    emit(capsys, "ablation_sweep_resolution", table)
+
+    gammas = [g for g, __ in outcomes.values()]
+    # All strategies land within one grid-step factor of each other.
+    assert max(gammas) / min(gammas) < 4.0
+    # Refinement evaluates fewer points than the densest grid.
+    assert outcomes["grid-10+refine2x5"][1] < outcomes["grid-34"][1]

@@ -1,0 +1,88 @@
+"""Figure 2 — classical parameters drift smoothly with Δ (Section 3).
+
+Four panels on the Irvine network:
+
+* top-left: mean snapshot density grows monotonically to the total-
+  aggregate density;
+* top-right: mean non-isolated vertices and largest connected component
+  grow monotonically toward n;
+* bottom-left: mean distance in time follows a power law ~ 1/Δ
+  (straight line in log-log);
+* bottom-right: mean distance in absolute time grows toward the span
+  while mean distance in hops decreases toward 1.
+
+The reproduced claim is the *absence* of any threshold: every curve
+drifts smoothly from one extreme to the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import emit, hours, sweep_size
+
+from repro.core import classical_sweep, log_delta_grid
+from repro.reporting import render_table, scatter_chart
+
+
+def test_fig2_classical_parameters(benchmark, capsys, irvine_stream, irvine_sweep):
+    deltas = log_delta_grid(irvine_stream, num=max(sweep_size() // 2, 10))
+    sweep = benchmark.pedantic(
+        classical_sweep, args=(irvine_stream, deltas), rounds=1, iterations=1
+    )
+
+    rows = []
+    for p in sweep.points:
+        rows.append(
+            [
+                hours(p.delta),
+                p.snapshot.mean_density,
+                p.snapshot.mean_non_isolated,
+                p.snapshot.mean_largest_component,
+                p.mean_distance_in_time,
+                p.mean_distance_in_hops,
+                hours(p.mean_distance_in_absolute_time),
+            ]
+        )
+    table = render_table(
+        [
+            "delta_h",
+            "density",
+            "non_isolated",
+            "largest_cc",
+            "d_time(steps)",
+            "d_hops",
+            "d_abstime_h",
+        ],
+        rows,
+        title="Figure 2 — classical parameters vs aggregation period (Irvine)",
+    )
+
+    chart = scatter_chart(
+        {
+            "d_time": (sweep.deltas, np.log10(sweep.column("distance_time"))),
+        },
+        logx=True,
+        width=64,
+        height=14,
+        title="Figure 2 bottom-left: log10 mean distance in time vs delta (log x)",
+        xlabel="delta (s)",
+    )
+    emit(capsys, "fig2_classical_parameters", table + "\n\n" + chart)
+
+    density = sweep.column("density")
+    lcc = sweep.column("largest_component")
+    hops_col = sweep.column("distance_hops")
+    abstime = sweep.column("distance_abs_time")
+    # Smooth monotone drift toward the extremes (the Section 3 negative result).
+    assert density[-1] == max(density)
+    assert lcc[-1] == max(lcc) >= 0.95 * irvine_stream.num_nodes
+    assert hops_col[-1] == 1.0
+    assert abstime[-1] == max(abstime)
+    # Power-law decay of the distance in time at small delta.
+    head = slice(0, max(len(deltas) // 3, 3))
+    slope = np.polyfit(np.log(deltas[head]), np.log(sweep.column("distance_time")[head]), 1)[0]
+    assert -1.3 < slope < -0.7
+    # No threshold anywhere: relative step-to-step change of the density
+    # stays bounded (no jump by more than the grid ratio squared).
+    ratios = density[1:] / density[:-1]
+    assert np.all(ratios < 40)

@@ -1,0 +1,109 @@
+"""Figure 6 — behaviour of γ on the Section 6 synthetic families.
+
+Left: for time-uniform networks, γ is proportional to the mean
+inter-contact time ``T / (N (n-1))``.
+
+Right: for two-mode networks, γ stays pinned near the high-activity
+value while low-activity time occupies up to ~70-80 % of the study, and
+only then rises toward the low-activity value — the method privileges
+the informative part of the dynamics.
+
+Sizes are reduced from the paper's (n=100, T=100 000 s) to keep the
+bench fast; set REPRO_FULL_SCALE=1 for the published parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import emit, full_scale
+
+from repro.core import occupancy_method
+from repro.generators import time_uniform_stream, two_mode_stream_by_rho
+from repro.generators.uniform import expected_mean_intercontact
+from repro.reporting import render_table, scatter_chart
+
+if full_scale():
+    NODES, SPAN, LINK_COUNTS = 100, 100_000.0, (10, 20, 40, 60, 80, 100)
+    TM_NODES, TM_SPAN, TM_HIGH, TM_LOW = 100, 100_000.0, 40, 2
+    SWEEP = 36
+else:
+    NODES, SPAN, LINK_COUNTS = 16, 20_000.0, (10, 20, 30, 45, 60, 80)
+    TM_NODES, TM_SPAN, TM_HIGH, TM_LOW = 12, 20_000.0, 24, 1
+    SWEEP = 22
+
+RHOS = (0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
+
+
+def _left_panel():
+    rows = []
+    for links in LINK_COUNTS:
+        stream = time_uniform_stream(NODES, links, SPAN, seed=links)
+        result = occupancy_method(
+            stream, num_deltas=SWEEP, deltas=None, bins=2048
+        )
+        ict = expected_mean_intercontact(NODES, links, SPAN)
+        rows.append((links, ict, result.gamma))
+    return rows
+
+
+def _right_panel():
+    rows = []
+    for rho in RHOS:
+        stream = two_mode_stream_by_rho(
+            TM_NODES, TM_HIGH, TM_LOW, TM_SPAN, rho, seed=int(rho * 100)
+        )
+        result = occupancy_method(stream, num_deltas=SWEEP, bins=2048)
+        rows.append((rho, result.gamma))
+    return rows
+
+
+def test_fig6_left_time_uniform(benchmark, capsys):
+    rows = benchmark.pedantic(_left_panel, rounds=1, iterations=1)
+    table = render_table(
+        ["links_per_pair", "mean_intercontact_s", "gamma_s"],
+        [[int(l), float(i), float(g)] for l, i, g in rows],
+        title="Figure 6 left — gamma vs mean inter-contact time (time-uniform)",
+    )
+    icts = np.array([r[1] for r in rows])
+    gammas = np.array([r[2] for r in rows])
+    ratio = gammas / icts
+    chart = scatter_chart(
+        {"gamma": (icts, gammas)},
+        width=60,
+        height=12,
+        title="gamma (y) vs mean inter-contact time (x)",
+    )
+    emit(
+        capsys,
+        "fig6_left_time_uniform",
+        table + f"\n\ngamma/ict ratios: {np.round(ratio, 3).tolist()}\n\n" + chart,
+    )
+
+    # Proportionality: gamma/ict roughly constant (paper: a straight
+    # line through the origin) and gamma monotone in ict.
+    assert ratio.max() / ratio.min() < 2.5
+    order = np.argsort(icts)
+    assert np.all(np.diff(gammas[order]) >= -0.15 * gammas[order][:-1])
+
+
+def test_fig6_right_two_mode(benchmark, capsys):
+    rows = benchmark.pedantic(_right_panel, rounds=1, iterations=1)
+    table = render_table(
+        ["low_activity_share", "gamma_s"],
+        [[float(r), float(g)] for r, g in rows],
+        title="Figure 6 right — gamma vs percentage of low-activity time (two-mode)",
+    )
+    emit(capsys, "fig6_right_two_mode", table)
+
+    gammas = dict(rows)
+    high_mode = gammas[0.0]
+    low_mode = gammas[1.0]
+    assert low_mode > 3 * high_mode  # the two modes have very different scales
+    # Plateau: up to 70% low-activity time, gamma stays near the
+    # high-activity value (within a factor ~3 of it, far below low mode).
+    for rho in (0.2, 0.4, 0.6, 0.7):
+        assert gammas[rho] < 0.35 * low_mode, rho
+        assert gammas[rho] < 4 * high_mode, rho
+    # Rise: at 100% it reaches the low-activity value, and 95% is already
+    # well above the plateau.
+    assert gammas[0.95] > 2 * high_mode

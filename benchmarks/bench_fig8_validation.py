@@ -1,0 +1,79 @@
+"""Figure 8 — validation of γ by direct loss measurement (Section 8).
+
+Left: proportion of shortest transitions lost vs Δ — negligible over
+several orders of magnitude, then a main loss phase that γ lands inside
+(the paper reports 10 % lost at 0.5 h, 48 % at γ = 18 h for Irvine).
+
+Right: mean elongation factor of minimal trips vs Δ — close to 1 for
+several orders of magnitude, rising around γ (< 1.5 at γ in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import emit, hours
+
+from repro.core import elongation_curve, transition_loss_curve
+from repro.reporting import render_table, scatter_chart
+
+
+def test_fig8_validation(benchmark, capsys, irvine_stream, irvine_sweep):
+    deltas = irvine_sweep.deltas
+
+    def compute():
+        loss = transition_loss_curve(irvine_stream, deltas)
+        elongation = elongation_curve(irvine_stream, deltas, max_trips=30_000)
+        return loss, elongation
+
+    loss, elongation = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        [
+            hours(d),
+            float(loss.lost_fractions[i]),
+            float(elongation.mean_factors[i]),
+            elongation.points[i].num_trips_measured,
+        ]
+        for i, d in enumerate(deltas)
+    ]
+    table = render_table(
+        ["delta_h", "transitions_lost", "mean_elongation", "trips_measured"],
+        rows,
+        title=(
+            "Figure 8 — loss validation (Irvine): "
+            f"{loss.num_transitions} shortest transitions in the stream"
+        ),
+    )
+    finite = ~np.isnan(elongation.mean_factors)
+    chart = scatter_chart(
+        {
+            "lost": (deltas, loss.lost_fractions),
+            "elongation": (deltas[finite], np.minimum(elongation.mean_factors[finite], 5.0)),
+        },
+        logx=True,
+        width=64,
+        height=14,
+        title="lost fraction and mean elongation (clipped at 5) vs delta (log x)",
+        xlabel="delta (s)",
+    )
+    gamma = irvine_sweep.gamma
+    at_gamma = (
+        f"\nat gamma = {hours(gamma):.2f} h: lost fraction = "
+        f"{loss.lost_at(gamma):.3f} (paper: ~0.48), mean elongation = "
+        f"{elongation.mean_factors[int(np.argmin(np.abs(deltas - gamma)))]:.3f} "
+        f"(paper: < 1.5)"
+    )
+    emit(capsys, "fig8_validation", table + "\n\n" + chart + at_gamma)
+
+    # Shape claims.
+    lost = loss.lost_fractions
+    assert lost[0] < 0.05  # negligible loss at the resolution
+    assert lost[-1] > 0.95  # (almost) total loss at full aggregation
+    at_gamma_loss = loss.lost_at(gamma)
+    assert 0.10 < at_gamma_loss < 0.90  # gamma sits inside the loss phase
+    # Elongation ~1 at fine scales, rising after.
+    first_measured = elongation.mean_factors[finite][0]
+    assert first_measured < 1.6
+    idx_gamma = int(np.argmin(np.abs(deltas - gamma)))
+    later = elongation.mean_factors[finite]
+    assert np.nanmax(later) > elongation.mean_factors[idx_gamma] * 0.99

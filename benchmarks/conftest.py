@@ -1,0 +1,42 @@
+"""Session-scoped caches shared by the figure benches.
+
+The Irvine sweep (Figures 2, 3, 7, 8 all analyze the Irvine network) is
+computed once per session with every selection method evaluated.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import dataset_stream, sweep_size  # noqa: E402
+
+from repro.core import occupancy_method  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def irvine_stream():
+    return dataset_stream("irvine")
+
+
+@pytest.fixture(scope="session")
+def irvine_sweep(irvine_stream):
+    """Full Irvine Δ sweep with all five Section 7 statistics."""
+    return occupancy_method(
+        irvine_stream,
+        num_deltas=sweep_size(),
+        extra_methods=("std", "cv", "shannon10", "cre"),
+    )
+
+
+@pytest.fixture(scope="session")
+def other_sweeps():
+    """Δ sweeps of the three non-Irvine traces (Figures 4 and 5)."""
+    return {
+        name: occupancy_method(dataset_stream(name), num_deltas=sweep_size())
+        for name in ("facebook", "enron", "manufacturing")
+    }

@@ -1,0 +1,60 @@
+"""The occupancy method next to three related-work selectors.
+
+Runs all four aggregation-scale selectors on the same stream and prints
+what each would choose and why they differ (Section 1.2 of the paper):
+
+* occupancy method — largest scale that preserves propagation;
+* loss/noise trade-off (Sulo et al.) — depends on an arbitrary weight;
+* periodicity (Clauset & Eagle) — keys on the circadian mode;
+* mature graphs (Soundarajan et al.) — keys on snapshot convergence.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro import occupancy_method
+from repro.baselines import convergence_scale, periodicity_scale, tradeoff_scale
+from repro.datasets import load
+from repro.utils.timeunits import HOUR, format_duration
+
+
+def main() -> None:
+    stream = load("manufacturing", scale="paper", seed=0)
+    print(f"stream: {stream}")
+    print()
+
+    occupancy = occupancy_method(stream, num_deltas=22)
+    print(f"occupancy method:      gamma = {format_duration(occupancy.gamma)}")
+
+    for weight in (0.2, 0.5, 0.8):
+        tradeoff = tradeoff_scale(stream, occupancy.deltas, loss_weight=weight)
+        print(
+            f"trade-off (w={weight}):    delta = {format_duration(tradeoff.delta)}"
+        )
+
+    periodicity = periodicity_scale(stream, bin_width=HOUR)
+    print(
+        f"periodicity:           delta = {format_duration(periodicity.delta)} "
+        f"(dominant period {format_duration(periodicity.dominant_period)})"
+    )
+
+    convergence = convergence_scale(stream)
+    print(
+        f"mature graphs:         delta = {format_duration(convergence.delta)} "
+        f"({convergence.window_lengths.size} adaptive windows)"
+    )
+
+    print()
+    print("reading the differences:")
+    print(" - the trade-off answer moves with its weight: it is a tunable")
+    print("   compromise, not a property of the stream;")
+    print(" - the periodicity answer is ~half the circadian day whatever")
+    print("   the pace of the network;")
+    print(" - mature-graph windows track density convergence, which can")
+    print("   occur after information loss has already set in;")
+    print(" - gamma is the largest scale at which the series still tells")
+    print("   the truth about propagation - an upper bound to respect,")
+    print("   whatever window the study finally uses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Links with duration: the Section 9 extension in practice.
+
+Physical-contact networks (RFID sensors, bluetooth) record links that
+*last* over intervals.  The paper notes such data reaches link-stream
+form through periodic sampling.  This example builds an interval
+stream of face-to-face contacts, samples it at a sensor-like resolution
+and runs the occupancy method on the result — including the sampling
+pitfalls (missed short contacts).
+
+Run:  python examples/interval_contacts.py
+"""
+
+import numpy as np
+
+from repro import occupancy_method
+from repro.linkstream import IntervalStream
+from repro.utils.timeunits import MINUTE, format_duration
+
+
+def build_contact_intervals(seed: int = 0) -> IntervalStream:
+    """A day of face-to-face contacts among 40 people.
+
+    Contact durations are log-normal (most conversations are short);
+    start times cluster into three meeting waves.
+    """
+    rng = np.random.default_rng(seed)
+    contacts = 900
+    wave_centers = np.array([2.5, 4.5, 7.0]) * 3600.0
+    starts = (
+        rng.choice(wave_centers, size=contacts)
+        + rng.normal(0, 45 * MINUTE, size=contacts)
+    )
+    starts = np.clip(starts, 0, 9 * 3600.0)
+    durations = rng.lognormal(mean=np.log(90.0), sigma=1.0, size=contacts)
+    u = rng.integers(0, 40, contacts)
+    v = (u + 1 + rng.integers(0, 39, contacts)) % 40
+    return IntervalStream(u, v, starts, starts + durations, directed=False)
+
+
+def main() -> None:
+    intervals = build_contact_intervals()
+    print(
+        f"interval stream: {intervals.num_intervals} contacts, "
+        f"total contact time {format_duration(intervals.total_duration)}"
+    )
+
+    print("\nsampling resolution   contacts captured   events   gamma")
+    for resolution in (5.0, 20.0, 60.0):
+        coverage = intervals.coverage(resolution)
+        sampled = intervals.sample(resolution)
+        result = occupancy_method(sampled, num_deltas=16, bins=2048)
+        print(
+            f"{format_duration(resolution):>19}   {coverage:>17.1%}   "
+            f"{sampled.num_events:>6}   {format_duration(result.gamma):>6}"
+        )
+
+    print()
+    print("coarser sensors miss short contacts (lower coverage) and the")
+    print("sampled stream's saturation scale shifts accordingly - the")
+    print("measurement-noise effect the paper's related work ([12], [3])")
+    print("addresses, and the reason adapting the occupancy method to")
+    print("lasting links natively is its main open perspective.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: find the saturation scale of a link stream.
+
+A link stream is any collection of (u, v, t) triplets.  This example
+builds one from a synthetic message network, runs the occupancy method
+(the paper's automatic, parameter-free detector), and prints the
+saturation scale gamma together with the evidence curve.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import occupancy_method
+from repro.generators import ReplicaParameters, circadian_replica
+from repro.utils.timeunits import DAY, format_duration
+
+
+def main() -> None:
+    # A two-week message network: 120 people, 2500 directed messages,
+    # circadian rhythm (you would normally read a TSV of real events via
+    # repro.linkstream.read_tsv).
+    params = ReplicaParameters(num_nodes=120, num_events=2500, span=14 * DAY)
+    stream = circadian_replica(params, seed=7)
+    print(f"stream: {stream}")
+
+    # One call: sweep aggregation periods from the timestamp resolution
+    # to the full span, score every occupancy distribution against the
+    # uniform density, return the maximum.
+    result = occupancy_method(stream, num_deltas=24)
+    print(result.describe())
+    print()
+
+    print("evidence (M-K proximity by aggregation period):")
+    for point in result.points:
+        bar = "#" * int(60 * point.mk_proximity / 0.5)
+        marker = "  <-- gamma" if point.delta == result.gamma else ""
+        print(
+            f"  delta = {format_duration(point.delta):>8}  "
+            f"proximity = {point.mk_proximity:6.3f}  {bar}{marker}"
+        )
+    print()
+
+    gamma_point = result.point_at_gamma()
+    print(
+        f"at gamma the series has {gamma_point.num_windows} windows and "
+        f"{gamma_point.num_trips} minimal trips; "
+        f"{100 * gamma_point.distribution.mass_at(1.0):.1f}% of trips are "
+        "single-hop (occupancy 1)."
+    )
+    print(
+        "aggregation periods beyond gamma alter propagation properties; "
+        "choose a window at or below it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Comparing the five uniformity selectors (Section 7 / Figure 7).
+
+One sweep of the Irvine replica, every distribution scored under all
+five statistics; prints the period each would select and the normalized
+curves, showing four methods agreeing and the variation coefficient
+degenerating.
+
+Run:  python examples/selection_method_comparison.py
+"""
+
+from repro import occupancy_method
+from repro.core import available_methods, get_method
+from repro.datasets import load
+from repro.reporting import scatter_chart
+from repro.utils.timeunits import format_duration
+
+
+def main() -> None:
+    stream = load("irvine", scale="paper", seed=0)
+    print(f"stream: {stream}")
+
+    methods = available_methods()  # cre, cv, mk, shannon10, std
+    result = occupancy_method(
+        stream, num_deltas=22, extra_methods=tuple(m for m in methods if m != "mk")
+    )
+
+    print("\nselected aggregation period per method:")
+    for name in methods:
+        method = get_method(name)
+        flag = "recommended" if method.recommended else "NOT recommended"
+        print(
+            f"  {name:>10}: {format_duration(result.gamma_for(name)):>8}   ({flag})"
+        )
+    print(
+        "\nthe paper's finding: all methods except the variation "
+        "coefficient land close together; cv collapses to the resolution."
+    )
+
+    normalized = {}
+    for name in ("mk", "std", "cre"):
+        scores = result.scores(name)
+        normalized[name] = (result.deltas, scores / scores.max())
+    print()
+    print(
+        scatter_chart(
+            normalized,
+            logx=True,
+            width=66,
+            height=14,
+            title="normalized selection statistics vs aggregation period (log x)",
+            xlabel="delta (s)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""How temporal heterogeneity shapes the saturation scale (Section 6).
+
+Reproduces the Figure 6 experiments at demo scale and then applies the
+per-period decomposition the paper's conclusion proposes:
+
+* time-uniform networks: gamma tracks the mean inter-contact time;
+* two-mode networks: gamma stays loyal to the high-activity mode until
+  low-activity time dominates (~70-80%);
+* per-period analysis: splitting the stream by activity yields one
+  gamma per regime, recovering both scales at once.
+
+Run:  python examples/synthetic_heterogeneity.py
+"""
+
+from repro import occupancy_method
+from repro.core import per_period_saturation
+from repro.generators import time_uniform_stream, two_mode_stream_by_rho
+from repro.generators.uniform import expected_mean_intercontact
+from repro.utils.timeunits import format_duration
+
+
+def main() -> None:
+    print("-- time-uniform networks (Figure 6 left) --")
+    print("links/pair   mean inter-contact   gamma      gamma/ict")
+    nodes, span = 14, 20_000.0
+    for links in (10, 25, 50, 80):
+        stream = time_uniform_stream(nodes, links, span, seed=links)
+        result = occupancy_method(stream, num_deltas=18, bins=2048)
+        ict = expected_mean_intercontact(nodes, links, span)
+        print(
+            f"{links:>10}   {ict:>18.1f}   {result.gamma:>7.1f}   "
+            f"{result.gamma / ict:>8.2f}"
+        )
+    print("gamma is proportional to the inter-contact time: the method")
+    print("adapts to the pace of the network.")
+    print()
+
+    print("-- two-mode networks (Figure 6 right) --")
+    print("low-activity share   gamma")
+    gammas = {}
+    for rho in (0.0, 0.4, 0.7, 0.9, 1.0):
+        stream = two_mode_stream_by_rho(
+            12, 24, 1, 20_000.0, rho, seed=int(rho * 10)
+        )
+        result = occupancy_method(stream, num_deltas=18, bins=2048)
+        gammas[rho] = result.gamma
+        print(f"{rho:>18.0%}   {result.gamma:>7.1f} s")
+    print(
+        "the plateau: even with 70% low-activity time, gamma stays near "
+        f"the busy-mode value ({gammas[0.0]:.0f} s), far from the quiet-mode "
+        f"value ({gammas[1.0]:.0f} s)."
+    )
+    print()
+
+    print("-- per-period decomposition (Section 9 perspective) --")
+    stream = two_mode_stream_by_rho(12, 24, 1, 20_000.0, 0.5, seed=3)
+    split = per_period_saturation(stream, num_deltas=14, min_events=60)
+    print(f"{len(split.periods)} alternating activity periods detected")
+    if split.high_result is not None:
+        print(f"high-activity gamma: {format_duration(split.high_result.gamma)}")
+    if split.low_result is not None:
+        print(f"low-activity gamma:  {format_duration(split.low_result.gamma)}")
+    print(
+        f"conservative whole-stream window: {format_duration(split.recommended_delta)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

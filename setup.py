@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This offline environment has setuptools 65 without the ``wheel`` package,
+so pip cannot build PEP 660 editable wheels; keeping a ``setup.py`` (and
+no ``[build-system]`` table in pyproject.toml) lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

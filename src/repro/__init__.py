@@ -1,0 +1,61 @@
+"""repro — reproduction of *Non-Altering Time Scales for Aggregation of
+Dynamic Networks into Series of Graphs* (Léo, Crespelle & Fleury,
+CoNEXT 2015).
+
+Quickstart::
+
+    from repro import LinkStream, occupancy_method
+
+    stream = LinkStream.from_triples([("a", "b", 0), ("b", "c", 5), ...])
+    result = occupancy_method(stream)
+    print(result.describe())      # the saturation scale gamma
+
+Packages
+--------
+``repro.linkstream``
+    Link-stream container, IO, operations, statistics.
+``repro.graphseries``
+    Snapshots, graph series, aggregation engines, graph metrics.
+``repro.temporal``
+    Backward reachability scan producing minimal trips (the O(nM)
+    engine), forward scans, brute-force oracles.
+``repro.core``
+    The occupancy method, occupancy distributions, uniformity
+    statistics, loss validation, classical sweeps.
+``repro.generators`` / ``repro.datasets``
+    Synthetic families of Section 6 and replicas of the four traces.
+``repro.baselines``
+    Related-work aggregation-scale selectors for comparison.
+``repro.reporting``
+    Plain-text tables and ASCII charts used by the bench harness.
+"""
+
+from repro.core import (
+    OccupancyDistribution,
+    SaturationResult,
+    classical_sweep,
+    elongation_curve,
+    log_delta_grid,
+    occupancy_method,
+    transition_loss_curve,
+)
+from repro.graphseries import GraphSeries, Snapshot, aggregate
+from repro.linkstream import IntervalStream, LinkStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkStream",
+    "IntervalStream",
+    "GraphSeries",
+    "Snapshot",
+    "aggregate",
+    "occupancy_method",
+    "SaturationResult",
+    "OccupancyDistribution",
+    "log_delta_grid",
+    "classical_sweep",
+    "transition_loss_curve",
+    "elongation_curve",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline aggregation-scale selectors from the paper's related work.
+
+Three alternative ways to pick an aggregation period, implemented for
+head-to-head comparison with the occupancy method (Section 1.2 discusses
+why each answers a *different* question than the saturation scale):
+
+* :func:`tradeoff_scale` — loss/noise trade-off (Sulo, Berger-Wolf &
+  Grossman, MLG 2010 — reference [41]).
+* :func:`periodicity_scale` — dominant-periodicity analysis (Clauset &
+  Eagle, DIMACS 2007 — reference [7]).
+* :func:`convergence_scale` — "mature graph" density convergence
+  (Soundarajan et al., WWW 2016 — reference [39]).
+"""
+
+from repro.baselines.convergence import ConvergenceResult, convergence_scale
+from repro.baselines.periodicity import PeriodicityResult, periodicity_scale
+from repro.baselines.tradeoff import TradeoffResult, tradeoff_scale
+
+__all__ = [
+    "tradeoff_scale",
+    "TradeoffResult",
+    "periodicity_scale",
+    "PeriodicityResult",
+    "convergence_scale",
+    "ConvergenceResult",
+]

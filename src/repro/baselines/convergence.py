@@ -1,0 +1,62 @@
+"""Density-convergence ("mature graph") selector (after Soundarajan et
+al., reference [39]).
+
+Their approach grows each window until the forming snapshot "matures" —
+its structure stops changing fast — then starts the next window.  The
+paper points out the motivation differs from the saturation scale:
+information loss can set in *before* the snapshot's statistics converge.
+
+Implementation: reuse the adaptive aggregation engine
+(:func:`repro.graphseries.aggregation.aggregate_adaptive`) and report
+the distribution of mature-window lengths; the suggested constant Δ is
+their median.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphseries.aggregation import aggregate_adaptive
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of the mature-graph selector."""
+
+    delta: float
+    window_lengths: np.ndarray
+    boundaries: np.ndarray
+    growth_tolerance: float
+
+
+def convergence_scale(
+    stream: LinkStream,
+    *,
+    growth_tolerance: float = 0.1,
+    probe: float | None = None,
+    max_window: float | None = None,
+) -> ConvergenceResult:
+    """Suggest Δ as the median length of density-converged windows.
+
+    Parameters mirror
+    :func:`~repro.graphseries.aggregation.aggregate_adaptive`.
+    """
+    __, boundaries = aggregate_adaptive(
+        stream,
+        growth_tolerance=growth_tolerance,
+        probe=probe,
+        max_window=max_window,
+    )
+    lengths = np.diff(boundaries)
+    if not lengths.size:
+        raise ValidationError("adaptive aggregation produced no windows")
+    return ConvergenceResult(
+        delta=float(np.median(lengths)),
+        window_lengths=lengths,
+        boundaries=boundaries,
+        growth_tolerance=growth_tolerance,
+    )

@@ -1,0 +1,71 @@
+"""Periodicity-based selector (after Clauset & Eagle, reference [7]).
+
+Their observation: the time series of snapshot statistics loses
+self-similarity at an offset close to *half the period of the highest
+visible frequency* in its spectrum; that half-period is the suggested
+aggregation scale.  The paper notes this targets a different goal than
+the saturation scale — most of a network's activity happens well below
+its periodicity modes (circadian traces get Δ ≈ 12 h regardless of their
+actual pace), so this baseline over-aggregates fast streams.
+
+Implementation: FFT of the event-count profile at a fine resolution,
+dominant positive frequency by spectral power, Δ = period / 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linkstream.statistics import activity_profile
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PeriodicityResult:
+    """Outcome of the periodicity selector."""
+
+    delta: float
+    dominant_period: float
+    frequencies: np.ndarray
+    power: np.ndarray
+    bin_width: float
+
+
+def periodicity_scale(
+    stream: LinkStream,
+    *,
+    bin_width: float | None = None,
+) -> PeriodicityResult:
+    """Suggest Δ as half of the dominant activity period.
+
+    ``bin_width`` sets the resolution of the event-count series the
+    spectrum is computed on (default: 1/1000 of the span, floored at the
+    timestamp resolution).
+    """
+    if stream.num_events < 4:
+        raise ValidationError("periodicity analysis needs a few events")
+    if bin_width is None:
+        bin_width = max(stream.span / 1000.0, stream.resolution())
+    __, counts = activity_profile(stream, bin_width)
+    if counts.size < 4:
+        raise ValidationError("profile too short; reduce bin_width")
+    signal = counts.astype(np.float64) - counts.mean()
+    spectrum = np.fft.rfft(signal)
+    power = np.abs(spectrum) ** 2
+    frequencies = np.fft.rfftfreq(signal.size, d=bin_width)
+    # Skip the DC component; pick the strongest strictly positive frequency.
+    idx = 1 + int(np.argmax(power[1:]))
+    dominant_frequency = frequencies[idx]
+    if dominant_frequency <= 0:
+        raise ValidationError("no positive dominant frequency found")
+    dominant_period = 1.0 / dominant_frequency
+    return PeriodicityResult(
+        delta=dominant_period / 2.0,
+        dominant_period=dominant_period,
+        frequencies=frequencies,
+        power=power,
+        bin_width=bin_width,
+    )

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``   detect the saturation scale of an event file and print the
+              evidence curve (optionally with validation measures).
+``aggregate`` aggregate an event file at a chosen window and write one
+              edge-list row per (window, u, v).
+``generate``  produce a synthetic stream (time-uniform, two-mode, or a
+              dataset replica) as a TSV event file.
+``datasets``  list the built-in dataset replicas and their statistics.
+
+All files are TSV with columns ``u v t`` unless ``--columns`` says
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import analyze_stream
+from repro.datasets import available_datasets, dataset_spec, load
+from repro.generators import time_uniform_stream, two_mode_stream_by_rho
+from repro.graphseries import aggregate as aggregate_stream
+from repro.linkstream import read_csv, read_tsv, write_tsv
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import ReproError
+from repro.utils.timeunits import format_duration, parse_duration
+
+
+def _read_stream(path: str, columns: str, directed: bool, fmt: str) -> LinkStream:
+    reader = read_csv if fmt == "csv" else read_tsv
+    return reader(path, columns=columns, directed=directed)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    stream = _read_stream(args.events, args.columns, not args.undirected, args.format)
+    report = analyze_stream(
+        stream,
+        validate=args.validate,
+        num_deltas=args.num_deltas,
+        method=args.method,
+        refine_rounds=args.refine,
+    )
+    print(report.to_text())
+    print()
+    print("delta        mk_proximity  trips")
+    result = report.saturation
+    for point in result.points:
+        marker = "  <-- gamma" if point.delta == result.gamma else ""
+        print(
+            f"{format_duration(point.delta):>9}  {point.mk_proximity:>12.4f}  "
+            f"{point.num_trips:>7}{marker}"
+        )
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    stream = _read_stream(args.events, args.columns, not args.undirected, args.format)
+    delta = parse_duration(args.delta)
+    series = aggregate_stream(stream, delta)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write("# window\tu\tv\n")
+        for step, us, vs in series.edge_groups():
+            for u, v in zip(us.tolist(), vs.tolist()):
+                handle.write(f"{step}\t{stream.label_of(u)}\t{stream.label_of(v)}\n")
+    print(
+        f"aggregated {stream.num_events} events at delta = "
+        f"{format_duration(delta)}: {series.num_steps} windows, "
+        f"{series.num_edges_total} edges -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "uniform":
+        stream = time_uniform_stream(
+            args.nodes, args.links_per_pair, args.span, seed=args.seed
+        )
+    elif args.family == "two-mode":
+        stream = two_mode_stream_by_rho(
+            args.nodes,
+            args.links_per_pair,
+            max(args.links_per_pair // 10, 1),
+            args.span,
+            args.rho,
+            seed=args.seed,
+        )
+    else:  # a dataset replica
+        stream = load(args.family, scale=args.scale, seed=args.seed)
+    write_tsv(stream, args.output)
+    print(f"wrote {stream.num_events} events ({stream.num_nodes} nodes) to {args.output}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print("built-in dataset replicas (paper Section 5):")
+    for name in available_datasets():
+        spec = dataset_spec(name)
+        print(
+            f"  {name:>14}: {spec.full.num_nodes} nodes, "
+            f"{spec.full.num_events} events over {spec.full.span_days:g} days; "
+            f"activity {spec.activity_paper}/person/day, "
+            f"paper gamma {spec.gamma_paper_hours:g} h"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Saturation-scale analysis of link streams (CoNEXT 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_io_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("events", help="event file (one interaction per line)")
+        p.add_argument("--columns", default="u v t", help="column order (default: 'u v t')")
+        p.add_argument("--format", choices=("tsv", "csv"), default="tsv")
+        p.add_argument("--undirected", action="store_true", help="treat links as undirected")
+
+    analyze = sub.add_parser("analyze", help="detect the saturation scale")
+    add_io_options(analyze)
+    analyze.add_argument("--num-deltas", type=int, default=40, help="sweep grid size")
+    analyze.add_argument("--method", default="mk", help="selection statistic (mk/std/cre/shannonK)")
+    analyze.add_argument("--refine", type=int, default=0, help="refinement rounds")
+    analyze.add_argument("--validate", action="store_true", help="also run Section 8 loss measures")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    agg = sub.add_parser("aggregate", help="aggregate an event file into a graph series")
+    add_io_options(agg)
+    agg.add_argument("--delta", required=True, help="window length (e.g. '18h', '3600')")
+    agg.add_argument("--output", required=True, help="output TSV (window, u, v)")
+    agg.set_defaults(func=_cmd_aggregate)
+
+    gen = sub.add_parser("generate", help="generate a synthetic stream")
+    gen.add_argument(
+        "family",
+        choices=["uniform", "two-mode", *available_datasets()],
+        help="synthetic family or dataset replica",
+    )
+    gen.add_argument("--output", required=True)
+    gen.add_argument("--nodes", type=int, default=50)
+    gen.add_argument("--links-per-pair", type=int, default=10)
+    gen.add_argument("--span", type=float, default=100_000.0)
+    gen.add_argument("--rho", type=float, default=0.5, help="two-mode low-activity share")
+    gen.add_argument("--scale", choices=("paper", "full"), default="paper")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    datasets = sub.add_parser("datasets", help="list built-in dataset replicas")
+    datasets.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Uniformity (spread) statistics and the selection-method registry.
+
+Section 7 of the paper compares five ways to pick the Δ whose occupancy
+distribution is "the most uniformly spread on [0, 1]".  Each method here
+maps a distribution to a score to **maximize**; the registry lets the
+occupancy method, Figure 7's bench and the ablation benches iterate over
+all of them uniformly.
+
+Paper's verdict, which our defaults follow: M-K proximity is the
+reference (conceptually simple, visually best); standard deviation and
+CRE are close seconds; slotted Shannon entropy works but is sensitive to
+the slot count; the variation coefficient degenerates (it favors
+tiny-mean distributions, i.e. no aggregation at all) and is kept only
+for the comparison figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.distribution import OccupancyDistribution
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SelectionMethod:
+    """A named scoring rule over occupancy distributions."""
+
+    name: str
+    score: Callable[[OccupancyDistribution], float]
+    description: str
+    recommended: bool
+
+
+def _shannon_scorer(slots: int) -> Callable[[OccupancyDistribution], float]:
+    def score(distribution: OccupancyDistribution) -> float:
+        return distribution.shannon_entropy(slots)
+
+    return score
+
+
+_METHODS: dict[str, SelectionMethod] = {}
+
+
+def _register(method: SelectionMethod) -> None:
+    _METHODS[method.name] = method
+
+
+_register(
+    SelectionMethod(
+        name="mk",
+        score=OccupancyDistribution.mk_proximity,
+        description=(
+            "Monge-Kantorovich proximity to the uniform density "
+            "(1/2 - Wasserstein-1 distance); the paper's reference method"
+        ),
+        recommended=True,
+    )
+)
+_register(
+    SelectionMethod(
+        name="std",
+        score=OccupancyDistribution.std,
+        description="standard deviation of occupancy rates; close to M-K, "
+        "slightly biased toward larger periods",
+        recommended=True,
+    )
+)
+_register(
+    SelectionMethod(
+        name="cv",
+        score=OccupancyDistribution.variation_coefficient,
+        description="variation coefficient sigma/mu; degenerates to the "
+        "timestamp resolution (kept for the Figure 7 comparison)",
+        recommended=False,
+    )
+)
+_register(
+    SelectionMethod(
+        name="shannon10",
+        score=_shannon_scorer(10),
+        description="Shannon entropy over 10 equal slots of [0, 1]; good "
+        "but sensitive to the slot count",
+        recommended=True,
+    )
+)
+_register(
+    SelectionMethod(
+        name="cre",
+        score=OccupancyDistribution.cumulative_residual_entropy,
+        description="cumulative residual entropy; theoretically clean, "
+        "usually selects slightly below M-K",
+        recommended=True,
+    )
+)
+
+
+def shannon_method(slots: int) -> SelectionMethod:
+    """A Shannon-entropy selector with a custom slot count (ablations)."""
+    if slots < 2:
+        raise ValidationError("need at least two slots")
+    return SelectionMethod(
+        name=f"shannon{slots}",
+        score=_shannon_scorer(slots),
+        description=f"Shannon entropy over {slots} equal slots of [0, 1]",
+        recommended=False,
+    )
+
+
+def get_method(name: str) -> SelectionMethod:
+    """Look a selection method up by name (``mk``, ``std``, ``cv``,
+    ``shannon<k>``, ``cre``)."""
+    if name in _METHODS:
+        return _METHODS[name]
+    if name.startswith("shannon"):
+        suffix = name[len("shannon") :]
+        if suffix.isdigit():
+            return shannon_method(int(suffix))
+    raise ValidationError(
+        f"unknown selection method {name!r}; available: {sorted(_METHODS)}"
+    )
+
+
+def available_methods() -> list[str]:
+    """Names of the registered selection methods."""
+    return sorted(_METHODS)
+
+
+def score_distribution(
+    distribution: OccupancyDistribution, methods: tuple[str, ...]
+) -> dict[str, float]:
+    """Score one distribution under several methods at once."""
+    return {name: get_method(name).score(distribution) for name in methods}

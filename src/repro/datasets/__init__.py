@@ -1,0 +1,24 @@
+"""Dataset registry: replicas of the paper's four traces.
+
+The original traces (UC Irvine messages, Facebook wall posts, Enron
+e-mails, Manufacturing e-mails) are public but unavailable offline;
+:func:`load` generates statistical replicas matched on the published
+node count, event count, span and per-capita activity (see DESIGN.md §3
+for the substitution argument).
+"""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load",
+]

@@ -1,0 +1,174 @@
+"""Specifications and loaders for the four CoNEXT trace replicas.
+
+Published statistics (paper Section 5):
+
+=============== ====== ======= ========= =================== =========
+trace            nodes  events  span      activity (/p/day)   γ (paper)
+=============== ====== ======= ========= =================== =========
+Irvine           1 509  48 000  48 days   0.66                18 h
+Facebook         3 387  11 991  1 month   0.12                46 h
+Enron              150  15 951  year 2001 0.29                78 h
+Manufacturing      153  82 894  8 months  2.22                12 h
+=============== ====== ======= ========= =================== =========
+
+Two scales per dataset:
+
+* ``"full"`` — the published sizes (minutes per sweep on a laptop);
+* ``"paper"`` — reduced node count and span with the **same per-capita
+  daily activity and rhythm**, so the saturation-scale phenomenology is
+  preserved while sweeps run in seconds.  This is the default used by
+  tests and benches; set ``REPRO_FULL_SCALE=1`` to make the bench
+  harness use the full sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.generators.replica import ReplicaParameters, circadian_replica
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import ValidationError
+from repro.utils.timeunits import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Concrete generation sizes for one scale of one dataset."""
+
+    num_nodes: int
+    num_events: int
+    span_days: float
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata of one trace and its replica parameters."""
+
+    key: str
+    name: str
+    description: str
+    full: ScaleSpec
+    paper: ScaleSpec
+    gamma_paper_hours: float
+    activity_paper: float  # messages per person per day, as published
+    day_night_contrast: float
+    weekend_factor: float
+    activity_exponent: float
+    contacts_per_node: int
+
+    def scale(self, name: str) -> ScaleSpec:
+        if name == "full":
+            return self.full
+        if name == "paper":
+            return self.paper
+        raise ValidationError(f"unknown scale {name!r}; use 'paper' or 'full'")
+
+    def replica_parameters(self, scale: str) -> ReplicaParameters:
+        sizes = self.scale(scale)
+        return ReplicaParameters(
+            num_nodes=sizes.num_nodes,
+            num_events=sizes.num_events,
+            span=sizes.span_days * DAY,
+            directed=True,
+            activity_exponent=self.activity_exponent,
+            contacts_per_node=self.contacts_per_node,
+            day_night_contrast=self.day_night_contrast,
+            weekend_factor=self.weekend_factor,
+        )
+
+    @property
+    def gamma_paper_seconds(self) -> float:
+        return self.gamma_paper_hours * HOUR
+
+
+def _reduced(nodes: int, span_days: float, activity: float) -> ScaleSpec:
+    """A reduced scale preserving the per-capita daily activity."""
+    return ScaleSpec(
+        num_nodes=nodes,
+        num_events=int(round(activity * nodes * span_days)),
+        span_days=span_days,
+    )
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "irvine": DatasetSpec(
+        key="irvine",
+        name="UC Irvine messages",
+        description="48 000 messages among 1 509 students of an online "
+        "community over 48 days (Panzarasa et al.)",
+        full=ScaleSpec(1509, 48000, 48.0),
+        paper=_reduced(300, 16.0, 0.66),
+        gamma_paper_hours=18.0,
+        activity_paper=0.66,
+        day_night_contrast=8.0,
+        weekend_factor=0.6,
+        activity_exponent=1.3,
+        contacts_per_node=12,
+    ),
+    "facebook": DatasetSpec(
+        key="facebook",
+        name="Facebook wall posts",
+        description="11 991 wall posts among 3 387 users over one month "
+        "(Viswanath et al.)",
+        full=ScaleSpec(3387, 11991, 30.0),
+        paper=_reduced(400, 30.0, 0.12),
+        gamma_paper_hours=46.0,
+        activity_paper=0.12,
+        day_night_contrast=5.0,
+        weekend_factor=0.8,
+        activity_exponent=1.2,
+        contacts_per_node=8,
+    ),
+    "enron": DatasetSpec(
+        key="enron",
+        name="Enron e-mails",
+        description="15 951 e-mails among 150 employees during 2001 "
+        "(Klimt & Yang)",
+        full=ScaleSpec(150, 15951, 365.0),
+        paper=_reduced(150, 112.0, 0.29),
+        gamma_paper_hours=78.0,
+        activity_paper=0.29,
+        day_night_contrast=10.0,
+        weekend_factor=0.25,
+        activity_exponent=1.2,
+        contacts_per_node=15,
+    ),
+    "manufacturing": DatasetSpec(
+        key="manufacturing",
+        name="Manufacturing e-mails",
+        description="82 894 internal e-mails among 153 employees over 8 "
+        "months (Michalski et al.)",
+        full=ScaleSpec(153, 82894, 243.0),
+        paper=_reduced(153, 28.0, 2.22),
+        gamma_paper_hours=12.0,
+        activity_paper=2.22,
+        day_night_contrast=12.0,
+        weekend_factor=0.15,
+        activity_exponent=1.1,
+        contacts_per_node=18,
+    ),
+}
+
+
+def available_datasets() -> list[str]:
+    """Keys accepted by :func:`load`."""
+    return sorted(DATASETS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Metadata of one dataset."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+
+
+def load(name: str, *, scale: str = "paper", seed: int = 0) -> LinkStream:
+    """Generate the replica stream for a dataset at the requested scale.
+
+    Deterministic for a given ``(name, scale, seed)``.
+    """
+    spec = dataset_spec(name)
+    return circadian_replica(spec.replica_parameters(scale), seed=seed)

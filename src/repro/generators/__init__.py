@@ -1,0 +1,20 @@
+"""Synthetic link-stream generators.
+
+* :func:`time_uniform_stream` / :func:`two_mode_stream` — the Section 6
+  synthetic families used to characterize the saturation scale.
+* :func:`circadian_replica` — a heavy-tailed, circadian message-network
+  model standing in for the paper's four real traces (offline
+  substitution; see DESIGN.md §3).
+"""
+
+from repro.generators.replica import ReplicaParameters, circadian_replica
+from repro.generators.twomode import two_mode_stream, two_mode_stream_by_rho
+from repro.generators.uniform import time_uniform_stream
+
+__all__ = [
+    "time_uniform_stream",
+    "two_mode_stream",
+    "two_mode_stream_by_rho",
+    "circadian_replica",
+    "ReplicaParameters",
+]

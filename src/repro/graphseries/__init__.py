@@ -1,0 +1,40 @@
+"""Graph-series substrate.
+
+Aggregating a link stream on time windows yields a *series of graphs*
+(Definition 1 of the paper): one snapshot per window, whose edges are the
+node pairs having at least one event inside the window.  This package
+provides the compact :class:`GraphSeries` container, the aggregation
+engines (disjoint windows per the paper, plus the overlapping /
+cumulative / adaptive variants its related-work section surveys), and
+per-snapshot graph metrics.
+"""
+
+from repro.graphseries.aggregation import (
+    aggregate,
+    aggregate_adaptive,
+    aggregate_cumulative,
+    aggregate_overlapping,
+    window_index,
+)
+from repro.graphseries.metrics import (
+    SeriesMetrics,
+    connected_component_sizes,
+    series_metrics,
+    snapshot_metrics,
+)
+from repro.graphseries.series import GraphSeries
+from repro.graphseries.snapshot import Snapshot
+
+__all__ = [
+    "Snapshot",
+    "GraphSeries",
+    "aggregate",
+    "aggregate_overlapping",
+    "aggregate_cumulative",
+    "aggregate_adaptive",
+    "window_index",
+    "snapshot_metrics",
+    "series_metrics",
+    "SeriesMetrics",
+    "connected_component_sizes",
+]

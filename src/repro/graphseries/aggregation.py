@@ -1,0 +1,264 @@
+"""Aggregation of link streams into graph series.
+
+:func:`aggregate` implements Definition 1 of the paper — disjoint windows
+of constant length Δ, window ``k`` covering ``[origin + kΔ, origin + (k+1)Δ)``
+(0-based here; the paper indexes from 1).  The paper's exact-divisor
+constraint ``Δ = T/K`` is relaxed to a half-open cover, which any Δ sweep
+needs in practice.
+
+The related-work section of the paper surveys three other window
+policies, all provided here for comparison studies: overlapping windows,
+cumulative windows (all starting at the beginning of the study), and
+adaptive variable-length windows that close once the forming snapshot
+"matures" (its density stabilizes), after Soundarajan et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphseries.series import GraphSeries
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import AggregationError
+
+
+def window_index(
+    times: np.ndarray, delta: float, origin: float
+) -> np.ndarray:
+    """0-based index of the length-``delta`` window containing each time."""
+    if delta <= 0:
+        raise AggregationError(f"window length must be positive, got {delta}")
+    return np.floor((np.asarray(times) - origin) / delta).astype(np.int64)
+
+
+def _dedup_rows(
+    step: np.ndarray, u: np.ndarray, v: np.ndarray, num_nodes: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Keep one row per distinct ``(step, u, v)``."""
+    if not step.size:
+        return step, u, v
+    key = (step * num_nodes + u) * num_nodes + v
+    __, keep = np.unique(key, return_index=True)
+    return step[keep], u[keep], v[keep]
+
+
+def aggregate(
+    stream: LinkStream,
+    delta: float,
+    *,
+    origin: float | None = None,
+) -> GraphSeries:
+    """Aggregate ``stream`` on disjoint windows of length ``delta``.
+
+    Definition 1 of the paper: snapshot ``k`` holds edge ``(u, v)`` iff
+    some event ``(u, v, t)`` has ``t`` inside window ``k``.
+
+    Parameters
+    ----------
+    stream:
+        The link stream to aggregate.
+    delta:
+        Window length, in the stream's time unit.  Must be positive.
+    origin:
+        Absolute start of window 0; defaults to ``stream.t_min``.
+    """
+    if not stream.num_events:
+        raise AggregationError("cannot aggregate an empty stream")
+    if delta <= 0:
+        raise AggregationError(f"window length must be positive, got {delta}")
+    if origin is None:
+        origin = stream.t_min
+    elif origin > stream.t_min:
+        raise AggregationError("origin must not be after the first event")
+    steps = window_index(stream.timestamps, delta, origin)
+    num_steps = int(steps.max()) + 1
+    if not stream.directed:
+        swap = stream.sources > stream.targets
+        u = np.where(swap, stream.targets, stream.sources)
+        v = np.where(swap, stream.sources, stream.targets)
+    else:
+        u, v = stream.sources, stream.targets
+    steps, u, v = _dedup_rows(steps, u.copy(), v.copy(), stream.num_nodes)
+    return GraphSeries(
+        stream.num_nodes,
+        num_steps,
+        steps,
+        u,
+        v,
+        directed=stream.directed,
+        delta=float(delta),
+        origin=float(origin),
+    )
+
+
+def aggregate_overlapping(
+    stream: LinkStream,
+    delta: float,
+    stride: float,
+    *,
+    origin: float | None = None,
+) -> GraphSeries:
+    """Aggregate on overlapping windows: window ``k`` covers
+    ``[origin + k·stride, origin + k·stride + delta)``.
+
+    With ``stride == delta`` this reduces to :func:`aggregate`.  Note that
+    consecutive overlapping snapshots share events, so temporal-path
+    semantics on the result double-count time; the paper's propagation
+    analysis assumes disjoint windows (this variant exists for the
+    window-policy comparison studies of the related work).
+    """
+    if not stream.num_events:
+        raise AggregationError("cannot aggregate an empty stream")
+    if delta <= 0 or stride <= 0:
+        raise AggregationError("window length and stride must be positive")
+    if stride > delta:
+        raise AggregationError("stride larger than the window leaves gaps")
+    if origin is None:
+        origin = stream.t_min
+    span_end = stream.t_max
+    num_steps = int(np.floor((span_end - origin) / stride)) + 1
+    x = stream.timestamps - origin
+    # Event at relative time x belongs to window k iff k·stride <= x < k·stride + delta,
+    # i.e. (x - delta)/stride < k <= x/stride.
+    first = np.floor((x - delta) / stride).astype(np.int64) + 1
+    first = np.maximum(first, 0)
+    last = np.floor(x / stride).astype(np.int64)
+    counts = np.maximum(last - first + 1, 0)
+    steps = np.repeat(first, counts) + _ragged_offsets(counts)
+    u = np.repeat(stream.sources, counts)
+    v = np.repeat(stream.targets, counts)
+    steps, u, v = _dedup_rows(steps, u, v, stream.num_nodes)
+    return GraphSeries(
+        stream.num_nodes,
+        num_steps,
+        steps,
+        u,
+        v,
+        directed=stream.directed,
+        delta=None,
+        origin=float(origin),
+    )
+
+
+def _ragged_offsets(counts: np.ndarray) -> np.ndarray:
+    """``[0,1,..,c0-1, 0,1,..,c1-1, ...]`` for repeat-based expansion."""
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    ends = counts.cumsum()
+    offsets = np.arange(total, dtype=np.int64)
+    return offsets - np.repeat(ends - counts, counts)
+
+
+def aggregate_cumulative(
+    stream: LinkStream,
+    delta: float,
+    *,
+    origin: float | None = None,
+) -> GraphSeries:
+    """Aggregate on growing windows all starting at the beginning of study.
+
+    Window ``k`` covers ``[origin, origin + (k+1)·delta)`` — the
+    "windows all start at the beginning of the period" policy of the
+    related work ([21, 31, 14, 37] in the paper).  Snapshot ``k`` is the
+    union of the first ``k+1`` disjoint snapshots.
+    """
+    disjoint = aggregate(stream, delta, origin=origin)
+    num_steps = disjoint.num_steps
+    num_nodes = disjoint.num_nodes
+    # An edge first appearing in window k is present in windows k..K-1.
+    key = disjoint.edge_sources * num_nodes + disjoint.edge_targets
+    order = np.lexsort((disjoint.edge_steps, key))
+    key_sorted = key[order]
+    step_sorted = disjoint.edge_steps[order]
+    first_of_pair = np.ones(key_sorted.size, dtype=bool)
+    first_of_pair[1:] = key_sorted[1:] != key_sorted[:-1]
+    first_step = step_sorted[first_of_pair]
+    pair_key = key_sorted[first_of_pair]
+    counts = (num_steps - first_step).astype(np.int64)
+    steps = np.repeat(first_step, counts) + _ragged_offsets(counts)
+    pairs = np.repeat(pair_key, counts)
+    return GraphSeries(
+        num_nodes,
+        num_steps,
+        steps,
+        pairs // num_nodes,
+        pairs % num_nodes,
+        directed=stream.directed,
+        delta=None,
+        origin=disjoint.origin,
+    )
+
+
+def aggregate_adaptive(
+    stream: LinkStream,
+    *,
+    growth_tolerance: float = 0.1,
+    probe: float | None = None,
+    max_window: float | None = None,
+) -> tuple[GraphSeries, np.ndarray]:
+    """Aggregate on variable-length windows that close when "mature".
+
+    Implements the related-work idea of Soundarajan et al. (reference
+    [39] of the paper): fix the start of the current window, extend its
+    end, and close the window when the aggregated snapshot stops growing
+    — here, when the number of *new* distinct pairs added during the last
+    ``probe`` seconds falls below ``growth_tolerance`` times the pairs
+    already collected (maturity = density convergence).
+
+    Returns the variable-window series and the window boundary times
+    (length ``num_steps + 1``).
+    """
+    if not stream.num_events:
+        raise AggregationError("cannot aggregate an empty stream")
+    if not 0 < growth_tolerance < 1:
+        raise AggregationError("growth_tolerance must be in (0, 1)")
+    if probe is None:
+        probe = max(stream.span / 1000.0, stream.resolution())
+    if max_window is None:
+        max_window = stream.span
+    times = stream.timestamps
+    num_nodes = stream.num_nodes
+    pair_key = stream.sources * num_nodes + stream.targets
+
+    boundaries = [float(stream.t_min)]
+    steps = np.empty(stream.num_events, dtype=np.int64)
+    current_step = 0
+    window_start_idx = 0
+    seen: set[int] = set()
+    recent_new = 0
+    probe_anchor = times[0]
+    for i in range(stream.num_events):
+        t = times[i]
+        if t - probe_anchor >= probe:
+            # End of a probe interval: close the window if growth stalled.
+            mature = seen and recent_new <= growth_tolerance * len(seen)
+            too_long = t - boundaries[-1] >= max_window
+            if (mature or too_long) and i > window_start_idx:
+                boundaries.append(float(t))
+                current_step += 1
+                window_start_idx = i
+                seen.clear()
+            recent_new = 0
+            probe_anchor = t
+        key = int(pair_key[i])
+        if key not in seen:
+            seen.add(key)
+            recent_new += 1
+        steps[i] = current_step
+    boundaries.append(float(stream.t_max) + 1.0)
+    num_steps = current_step + 1
+    dedup_steps, u, v = _dedup_rows(
+        steps, stream.sources.copy(), stream.targets.copy(), num_nodes
+    )
+    series = GraphSeries(
+        num_nodes,
+        num_steps,
+        dedup_steps,
+        u,
+        v,
+        directed=stream.directed,
+        delta=None,
+        origin=float(stream.t_min),
+    )
+    return series, np.asarray(boundaries)

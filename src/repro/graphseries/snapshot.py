@@ -1,0 +1,134 @@
+"""A single aggregated graph (one window of the series)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.utils.errors import AggregationError
+
+
+class Snapshot:
+    """A static graph on ``num_nodes`` nodes with a fixed edge list.
+
+    Edges are stored as parallel index arrays; duplicates are not allowed
+    (aggregation deduplicates).  For undirected snapshots edges are
+    canonical (``u < v``).
+    """
+
+    __slots__ = ("_num_nodes", "_u", "_v", "_directed", "_adjacency")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        *,
+        directed: bool = True,
+    ) -> None:
+        self._num_nodes = int(num_nodes)
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise AggregationError("edge arrays must be 1-d and of equal length")
+        if u.size:
+            if min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= num_nodes:
+                raise AggregationError("edge endpoint out of range")
+            if np.any(u == v):
+                raise AggregationError("snapshots cannot contain self-loops")
+        if not directed:
+            swap = u > v
+            u, v = np.where(swap, v, u), np.where(swap, u, v)
+        order = np.lexsort((v, u))
+        self._u = u[order]
+        self._v = v[order]
+        self._directed = bool(directed)
+        self._adjacency: dict[int, set[int]] | None = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._u.size
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def edge_sources(self) -> np.ndarray:
+        return self._u
+
+    @property
+    def edge_targets(self) -> np.ndarray:
+        return self._v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges as ``(u, v)`` index pairs."""
+        for u, v in zip(self._u, self._v):
+            yield int(u), int(v)
+
+    def _adjacency_map(self) -> dict[int, set[int]]:
+        if self._adjacency is None:
+            adjacency: dict[int, set[int]] = {}
+            for u, v in self.edges():
+                adjacency.setdefault(u, set()).add(v)
+                if not self._directed:
+                    adjacency.setdefault(v, set()).add(u)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the snapshot contains edge ``(u, v)`` (order-free if undirected)."""
+        return v in self._adjacency_map().get(u, ())
+
+    def successors(self, u: int) -> list[int]:
+        """Out-neighbors of ``u`` (all neighbors if undirected)."""
+        return sorted(self._adjacency_map().get(u, ()))
+
+    def degree_counts(self) -> np.ndarray:
+        """Total degree per node (in + out for directed snapshots)."""
+        counts = np.zeros(self._num_nodes, dtype=np.int64)
+        np.add.at(counts, self._u, 1)
+        np.add.at(counts, self._v, 1)
+        return counts
+
+    def density(self) -> float:
+        """Edges over possible edges (``n(n-1)`` directed, halved otherwise)."""
+        n = self._num_nodes
+        if n < 2:
+            return 0.0
+        possible = n * (n - 1) if self._directed else n * (n - 1) // 2
+        return self.num_edges / possible
+
+    def non_isolated_count(self) -> int:
+        """Number of nodes with at least one incident edge."""
+        if not self.num_edges:
+            return 0
+        return int(np.union1d(self._u, self._v).size)
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph (optional dependency)."""
+        import networkx as nx
+
+        graph = nx.DiGraph() if self._directed else nx.Graph()
+        graph.add_nodes_from(range(self._num_nodes))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return f"Snapshot({kind}, {self._num_nodes} nodes, {self.num_edges} edges)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Snapshot):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._directed == other._directed
+            and np.array_equal(self._u, other._u)
+            and np.array_equal(self._v, other._v)
+        )

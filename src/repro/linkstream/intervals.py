@@ -1,0 +1,136 @@
+"""Interval-event streams (links with duration).
+
+Section 9 of the paper lists links-with-duration as the key extension of
+the occupancy method: phone calls or physical contacts exist over a time
+*interval* rather than at an instant.  The paper's related work ([12, 3])
+notes such networks are usually *measured* by periodic sampling, which
+reduces them to punctual link streams.
+
+:class:`IntervalStream` stores ``(u, v, start, end)`` quadruplets and its
+:meth:`IntervalStream.sample` method performs exactly that periodic
+sampling, producing a punctual :class:`~repro.linkstream.stream.LinkStream`
+on which the occupancy method runs unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import LinkStreamError
+
+
+class IntervalStream:
+    """A collection of lasting links ``(u, v, [start, end])``.
+
+    Parameters mirror :class:`~repro.linkstream.stream.LinkStream`, with
+    the timestamp column replaced by an interval per event.
+    """
+
+    __slots__ = ("_u", "_v", "_start", "_end", "_directed", "_num_nodes", "_labels")
+
+    def __init__(
+        self,
+        u: Iterable[int],
+        v: Iterable[int],
+        start: Iterable[float],
+        end: Iterable[float],
+        *,
+        directed: bool = True,
+        num_nodes: int | None = None,
+        labels: list[Hashable] | None = None,
+    ) -> None:
+        u_arr = np.asarray(u, dtype=np.int64)
+        v_arr = np.asarray(v, dtype=np.int64)
+        start_arr = np.asarray(start, dtype=np.float64)
+        end_arr = np.asarray(end, dtype=np.float64)
+        shapes = {u_arr.shape, v_arr.shape, start_arr.shape, end_arr.shape}
+        if len(shapes) != 1 or u_arr.ndim != 1:
+            raise LinkStreamError("u, v, start, end must be 1-d arrays of equal length")
+        if np.any(end_arr < start_arr):
+            raise LinkStreamError("interval end must not precede start")
+        if u_arr.size and np.any(u_arr == v_arr):
+            raise LinkStreamError("self-loops are not valid interval events")
+        inferred = int(max(u_arr.max(), v_arr.max())) + 1 if u_arr.size else 0
+        if num_nodes is None:
+            num_nodes = inferred
+        elif num_nodes < inferred:
+            raise LinkStreamError("num_nodes smaller than max index + 1")
+        order = np.lexsort((v_arr, u_arr, start_arr))
+        self._u = u_arr[order]
+        self._v = v_arr[order]
+        self._start = start_arr[order]
+        self._end = end_arr[order]
+        self._directed = bool(directed)
+        self._num_nodes = int(num_nodes)
+        self._labels = labels
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_intervals(self) -> int:
+        return self._u.size
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of interval lengths over all events."""
+        return float((self._end - self._start).sum())
+
+    def __len__(self) -> int:
+        return self.num_intervals
+
+    def sample(self, resolution: float, *, offset: float = 0.0) -> LinkStream:
+        """Reduce to a punctual link stream by periodic sampling.
+
+        A probe fires at times ``offset + k * resolution``; every interval
+        that covers a probe time emits one punctual event at that time.
+        This mirrors how sensor deployments (RFID contact studies, etc.)
+        actually record lasting links, and is the documented path for
+        running the occupancy method on interval data.
+
+        Intervals shorter than ``resolution`` may be missed entirely —
+        exactly the measurement noise discussed in the paper's related
+        work.
+        """
+        if resolution <= 0:
+            raise LinkStreamError("sampling resolution must be positive")
+        if not self.num_intervals:
+            return LinkStream([], [], [], directed=self._directed, num_nodes=self._num_nodes)
+        first = np.ceil((self._start - offset) / resolution)
+        last = np.floor((self._end - offset) / resolution)
+        hits = np.maximum(last - first + 1, 0).astype(np.int64)
+        total = int(hits.sum())
+        u_out = np.repeat(self._u, hits)
+        v_out = np.repeat(self._v, hits)
+        t_out = np.empty(total, dtype=np.float64)
+        cursor = 0
+        for i in range(self.num_intervals):
+            count = hits[i]
+            if count:
+                ticks = first[i] + np.arange(count)
+                t_out[cursor : cursor + count] = offset + ticks * resolution
+                cursor += count
+        return LinkStream(
+            u_out,
+            v_out,
+            t_out,
+            directed=self._directed,
+            num_nodes=self._num_nodes,
+            labels=self._labels,
+        )
+
+    def coverage(self, resolution: float, *, offset: float = 0.0) -> float:
+        """Fraction of intervals that emit at least one sampled event."""
+        if not self.num_intervals:
+            return 1.0
+        first = np.ceil((self._start - offset) / resolution)
+        last = np.floor((self._end - offset) / resolution)
+        return float(np.mean(last >= first))

@@ -1,0 +1,124 @@
+"""Whole-stream surgery operations.
+
+These functions return new :class:`~repro.linkstream.stream.LinkStream`
+objects; streams themselves are immutable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.linkstream.stream import LinkStream
+from repro.utils.errors import LinkStreamError
+from repro.utils.rng import ensure_rng
+
+
+def concatenate(streams: Sequence[LinkStream]) -> LinkStream:
+    """Union of several streams over a shared label space.
+
+    Nodes are matched by label; the result's node set is the union in
+    first-seen order.  All inputs must agree on directedness.
+    """
+    if not streams:
+        raise LinkStreamError("cannot concatenate an empty list of streams")
+    directed = streams[0].directed
+    if any(s.directed != directed for s in streams):
+        raise LinkStreamError("cannot mix directed and undirected streams")
+
+    labels: list[Hashable] = []
+    index: dict[Hashable, int] = {}
+    for stream in streams:
+        for lab in stream.labels:
+            if lab not in index:
+                index[lab] = len(labels)
+                labels.append(lab)
+
+    chunks_u, chunks_v, chunks_t = [], [], []
+    for stream in streams:
+        remap = np.array([index[lab] for lab in stream.labels], dtype=np.int64)
+        if stream.num_events:
+            chunks_u.append(remap[stream.sources])
+            chunks_v.append(remap[stream.targets])
+            chunks_t.append(np.asarray(stream.timestamps, dtype=np.float64))
+    if chunks_u:
+        u = np.concatenate(chunks_u)
+        v = np.concatenate(chunks_v)
+        t = np.concatenate(chunks_t)
+    else:
+        u = v = t = np.empty(0, dtype=np.int64)
+    return LinkStream(u, v, t, directed=directed, num_nodes=len(labels), labels=labels)
+
+
+def deduplicate(stream: LinkStream) -> LinkStream:
+    """Drop exact duplicate events ``(u, v, t)``."""
+    if not stream.num_events:
+        return stream.copy()
+    stacked = np.stack([stream.timestamps, stream.sources, stream.targets])
+    __, keep = np.unique(stacked, axis=1, return_index=True)
+    keep.sort()
+    return LinkStream(
+        stream.sources[keep],
+        stream.targets[keep],
+        stream.timestamps[keep],
+        directed=stream.directed,
+        num_nodes=stream.num_nodes,
+        labels=stream.labels,
+    )
+
+
+def relabel(stream: LinkStream, mapping: Mapping[Hashable, Hashable]) -> LinkStream:
+    """Rename nodes; labels missing from ``mapping`` keep their old name."""
+    new_labels = [mapping.get(lab, lab) for lab in stream.labels]
+    if len(set(new_labels)) != len(new_labels):
+        raise LinkStreamError("relabeling collapses two nodes onto the same label")
+    return LinkStream(
+        stream.sources,
+        stream.targets,
+        stream.timestamps,
+        directed=stream.directed,
+        num_nodes=stream.num_nodes,
+        labels=new_labels,
+    )
+
+
+def reverse_time(stream: LinkStream) -> LinkStream:
+    """Mirror the stream in time: event at ``t`` moves to ``t_max - (t - t_min)``.
+
+    Useful for testing time-symmetric properties (a temporal path of the
+    reversed stream is a reversed temporal path of the original when links
+    are undirected).
+    """
+    if not stream.num_events:
+        return stream.copy()
+    mirrored = stream.t_max - (stream.timestamps - stream.t_min)
+    return LinkStream(
+        stream.sources,
+        stream.targets,
+        mirrored,
+        directed=stream.directed,
+        num_nodes=stream.num_nodes,
+        labels=stream.labels,
+    )
+
+
+def subsample_events(
+    stream: LinkStream,
+    fraction: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> LinkStream:
+    """Keep each event independently with probability ``fraction``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise LinkStreamError(f"fraction must be in [0, 1], got {fraction}")
+    rng = ensure_rng(seed)
+    mask = rng.random(stream.num_events) < fraction
+    return LinkStream(
+        stream.sources[mask],
+        stream.targets[mask],
+        stream.timestamps[mask],
+        directed=stream.directed,
+        num_nodes=stream.num_nodes,
+        labels=stream.labels,
+    )

@@ -1,0 +1,327 @@
+"""The :class:`LinkStream` container.
+
+Events are stored column-wise in numpy arrays (source index, target index,
+timestamp), sorted by timestamp.  Node labels are kept separately so the
+numeric core always works on dense indices ``0..n-1`` — the layout every
+downstream algorithm (aggregation, reachability) expects.
+
+Timestamps may be integers or floats; the paper's method works for both
+discrete and continuous time (Section 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.utils.errors import LinkStreamError
+
+
+class LinkStream:
+    """A finite collection of interaction triplets ``(u, v, t)``.
+
+    Parameters
+    ----------
+    u, v:
+        Integer node indices in ``0..num_nodes-1``, one entry per event.
+    t:
+        Event timestamps (int or float), one entry per event.  Events are
+        re-sorted by ``(t, u, v)`` on construction.
+    directed:
+        Whether ``(u, v, t)`` means ``u -> v`` only.  The four traces the
+        paper studies (messages, e-mails, wall posts) are directed.
+    num_nodes:
+        Size of the node set ``V``.  Defaults to ``max(u, v) + 1``; may be
+        larger to include isolated nodes.
+    labels:
+        Optional external labels, ``labels[i]`` naming node ``i``.
+    """
+
+    __slots__ = ("_u", "_v", "_t", "_directed", "_num_nodes", "_labels", "_label_index")
+
+    def __init__(
+        self,
+        u: Iterable[int],
+        v: Iterable[int],
+        t: Iterable[float],
+        *,
+        directed: bool = True,
+        num_nodes: int | None = None,
+        labels: Iterable[Hashable] | None = None,
+    ) -> None:
+        u_arr = np.asarray(u, dtype=np.int64)
+        v_arr = np.asarray(v, dtype=np.int64)
+        t_arr = np.asarray(t)
+        if not (u_arr.shape == v_arr.shape == t_arr.shape) or u_arr.ndim != 1:
+            raise LinkStreamError("u, v, t must be one-dimensional arrays of equal length")
+        if t_arr.dtype.kind not in "iuf":
+            raise LinkStreamError(f"timestamps must be numeric, got dtype {t_arr.dtype}")
+        if t_arr.dtype.kind == "f":
+            if not np.all(np.isfinite(t_arr)):
+                raise LinkStreamError("timestamps must be finite")
+            t_arr = t_arr.astype(np.float64)
+        else:
+            t_arr = t_arr.astype(np.int64)
+        if u_arr.size:
+            lo = min(u_arr.min(), v_arr.min())
+            hi = max(u_arr.max(), v_arr.max())
+            if lo < 0:
+                raise LinkStreamError("node indices must be non-negative")
+            if np.any(u_arr == v_arr):
+                raise LinkStreamError("self-loops (u == v) are not valid link-stream events")
+        else:
+            hi = -1
+        inferred = int(hi) + 1
+        if num_nodes is None:
+            num_nodes = inferred
+        elif num_nodes < inferred:
+            raise LinkStreamError(f"num_nodes={num_nodes} smaller than max index + 1 = {inferred}")
+
+        if not directed:
+            swap = u_arr > v_arr
+            u_arr, v_arr = np.where(swap, v_arr, u_arr), np.where(swap, u_arr, v_arr)
+
+        order = np.lexsort((v_arr, u_arr, t_arr))
+        self._u = u_arr[order]
+        self._v = v_arr[order]
+        self._t = t_arr[order]
+        self._u.setflags(write=False)
+        self._v.setflags(write=False)
+        self._t.setflags(write=False)
+        self._directed = bool(directed)
+        self._num_nodes = int(num_nodes)
+
+        if labels is not None:
+            label_arr = list(labels)
+            if len(label_arr) != self._num_nodes:
+                raise LinkStreamError(
+                    f"labels has {len(label_arr)} entries for {self._num_nodes} nodes"
+                )
+            if len(set(label_arr)) != len(label_arr):
+                raise LinkStreamError("labels must be unique")
+            self._labels = label_arr
+        else:
+            self._labels = None
+        self._label_index = None
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[tuple[Hashable, Hashable, float]],
+        *,
+        directed: bool = True,
+    ) -> "LinkStream":
+        """Build a stream from ``(u_label, v_label, t)`` triples.
+
+        Labels may be any hashable values; they are mapped to dense indices
+        in first-seen order.
+        """
+        labels: list[Hashable] = []
+        index: dict[Hashable, int] = {}
+        us: list[int] = []
+        vs: list[int] = []
+        ts: list[float] = []
+        for lu, lv, t in triples:
+            for lab in (lu, lv):
+                if lab not in index:
+                    index[lab] = len(labels)
+                    labels.append(lab)
+            us.append(index[lu])
+            vs.append(index[lv])
+            ts.append(t)
+        return cls(us, vs, ts, directed=directed, num_nodes=len(labels), labels=labels)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the node set ``V``."""
+        return self._num_nodes
+
+    @property
+    def num_events(self) -> int:
+        """Number of triplets in the stream (with multiplicity)."""
+        return self._t.size
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Read-only source index array, sorted by event time."""
+        return self._u
+
+    @property
+    def targets(self) -> np.ndarray:
+        """Read-only target index array, sorted by event time."""
+        return self._v
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only timestamp array, ascending."""
+        return self._t
+
+    @property
+    def labels(self) -> list[Hashable]:
+        """External node labels (identity labels if none were given)."""
+        if self._labels is None:
+            return list(range(self._num_nodes))
+        return list(self._labels)
+
+    @property
+    def t_min(self) -> float:
+        """Earliest event time (raises on an empty stream)."""
+        if not self._t.size:
+            raise LinkStreamError("empty stream has no t_min")
+        return self._t[0].item()
+
+    @property
+    def t_max(self) -> float:
+        """Latest event time (raises on an empty stream)."""
+        if not self._t.size:
+            raise LinkStreamError("empty stream has no t_max")
+        return self._t[-1].item()
+
+    @property
+    def span(self) -> float:
+        """Length ``t_max - t_min`` of the observed period."""
+        return self.t_max - self.t_min
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        if self.num_events:
+            window = f", over [{self._t[0]}, {self._t[-1]}]"
+        else:
+            window = ""
+        return (
+            f"LinkStream({kind}, {self.num_nodes} nodes, {self.num_events} events{window})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkStream):
+            return NotImplemented
+        return (
+            self._directed == other._directed
+            and self._num_nodes == other._num_nodes
+            and self.labels == other.labels
+            and np.array_equal(self._u, other._u)
+            and np.array_equal(self._v, other._v)
+            and np.array_equal(self._t, other._t)
+        )
+
+    def __hash__(self) -> int:  # streams are mutable-looking but frozen
+        return hash((self._directed, self._num_nodes, self._t.tobytes()))
+
+    # -- label mapping -----------------------------------------------------
+
+    def label_of(self, index: int) -> Hashable:
+        """External label of node ``index``."""
+        if self._labels is None:
+            return index
+        return self._labels[index]
+
+    def index_of(self, label: Hashable) -> int:
+        """Dense index of the node carrying ``label``."""
+        if self._labels is None:
+            idx = int(label)
+            if not 0 <= idx < self._num_nodes:
+                raise LinkStreamError(f"unknown node label {label!r}")
+            return idx
+        if self._label_index is None:
+            self._label_index = {lab: i for i, lab in enumerate(self._labels)}
+        try:
+            return self._label_index[label]
+        except KeyError:
+            raise LinkStreamError(f"unknown node label {label!r}") from None
+
+    def events(self) -> Iterator[tuple[Hashable, Hashable, float]]:
+        """Iterate events as ``(u_label, v_label, t)`` in time order."""
+        for u, v, t in zip(self._u, self._v, self._t):
+            yield self.label_of(int(u)), self.label_of(int(v)), t.item()
+
+    # -- time structure ------------------------------------------------------
+
+    def distinct_timestamps(self) -> np.ndarray:
+        """Sorted array of distinct event times."""
+        return np.unique(self._t)
+
+    def resolution(self) -> float:
+        """Smallest positive gap between distinct timestamps.
+
+        This is the finest meaningful aggregation period (the paper sweeps
+        Δ from the timestamp resolution up to the full span).
+        """
+        distinct = self.distinct_timestamps()
+        if distinct.size < 2:
+            raise LinkStreamError("need at least two distinct timestamps for a resolution")
+        return float(np.diff(distinct).min())
+
+    # -- derived streams -----------------------------------------------------
+
+    def restrict_time(self, start: float, end: float, *, half_open: bool = True) -> "LinkStream":
+        """Sub-stream of events with ``start <= t < end`` (or ``<= end``)."""
+        if half_open:
+            mask = (self._t >= start) & (self._t < end)
+        else:
+            mask = (self._t >= start) & (self._t <= end)
+        return self._replace_events(self._u[mask], self._v[mask], self._t[mask])
+
+    def restrict_nodes(self, labels: Iterable[Hashable]) -> "LinkStream":
+        """Sub-stream induced by a node subset; nodes are re-indexed densely."""
+        keep_idx = sorted({self.index_of(lab) for lab in labels})
+        lookup = np.full(self._num_nodes, -1, dtype=np.int64)
+        for new, old in enumerate(keep_idx):
+            lookup[old] = new
+        mask = (lookup[self._u] >= 0) & (lookup[self._v] >= 0)
+        new_labels = [self.label_of(old) for old in keep_idx]
+        return LinkStream(
+            lookup[self._u[mask]],
+            lookup[self._v[mask]],
+            self._t[mask],
+            directed=self._directed,
+            num_nodes=len(keep_idx),
+            labels=new_labels if self._labels is not None else None,
+        )
+
+    def to_undirected(self) -> "LinkStream":
+        """Forget edge direction (pairs are canonicalized)."""
+        if not self._directed:
+            return self
+        return LinkStream(
+            self._u,
+            self._v,
+            self._t,
+            directed=False,
+            num_nodes=self._num_nodes,
+            labels=self._labels,
+        )
+
+    def shift_time(self, offset: float) -> "LinkStream":
+        """Translate all timestamps by ``offset``."""
+        return self._replace_events(self._u, self._v, self._t + offset)
+
+    def scale_time(self, factor: float) -> "LinkStream":
+        """Multiply all timestamps by a positive ``factor``."""
+        if factor <= 0:
+            raise LinkStreamError("time scale factor must be positive")
+        return self._replace_events(self._u, self._v, self._t * factor)
+
+    def copy(self) -> "LinkStream":
+        return self._replace_events(self._u, self._v, self._t)
+
+    def _replace_events(self, u: np.ndarray, v: np.ndarray, t: np.ndarray) -> "LinkStream":
+        return LinkStream(
+            u,
+            v,
+            t,
+            directed=self._directed,
+            num_nodes=self._num_nodes,
+            labels=self._labels,
+        )

@@ -1,0 +1,11 @@
+"""Plain-text reporting: aligned tables and ASCII charts.
+
+The benchmark harness regenerates every figure of the paper as printed
+series; this package renders them readably in a terminal (no plotting
+dependency is available offline).
+"""
+
+from repro.reporting.ascii import line_chart, scatter_chart
+from repro.reporting.tables import format_float, render_table
+
+__all__ = ["render_table", "format_float", "line_chart", "scatter_chart"]

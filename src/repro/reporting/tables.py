@@ -1,0 +1,52 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.utils.errors import ValidationError
+
+
+def format_float(value: float, *, digits: int = 4) -> str:
+    """Compact numeric rendering (fixed significant digits, inf/nan-safe)."""
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.{digits}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted compactly; everything else via ``str``.
+    """
+    if not headers:
+        raise ValidationError("table needs at least one column")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells for {len(headers)} columns"
+            )
+        rendered_rows.append(
+            [format_float(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Spreading processes on link streams and graph series.
+
+The paper's motivation is that diffusion phenomena (epidemics,
+information cascades) follow temporal paths, so aggregation beyond the
+saturation scale corrupts their substrate.  This package makes that
+concrete: susceptible-infected (SI) processes run on both the raw
+stream and an aggregated series, and their disagreement is measured as
+a function of the aggregation period.
+"""
+
+from repro.spreading.fidelity import (
+    FidelityCurve,
+    FidelityPoint,
+    reachability_fidelity,
+)
+from repro.spreading.si import (
+    SpreadResult,
+    si_spread_series,
+    si_spread_stream,
+)
+
+__all__ = [
+    "si_spread_stream",
+    "si_spread_series",
+    "SpreadResult",
+    "reachability_fidelity",
+    "FidelityCurve",
+    "FidelityPoint",
+]

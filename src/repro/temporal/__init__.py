@@ -1,0 +1,53 @@
+"""Temporal reachability engine.
+
+Implements the paper's ``O(nM)`` backward dynamic program (Section 5)
+computing earliest-arrival / minimum-hop information and emitting all
+**minimal trips** (Definition 5) of a graph series or of a raw link
+stream, plus reference brute-force implementations used to verify it.
+"""
+
+from repro.temporal.bruteforce import (
+    bruteforce_earliest_arrival,
+    bruteforce_minimal_trips,
+    enumerate_temporal_paths,
+    minimal_trips_from_paths,
+)
+from repro.temporal.collectors import (
+    ChainCollector,
+    CountingCollector,
+    TripCollector,
+    TripListCollector,
+)
+from repro.temporal.paths import (
+    earliest_arrival_path,
+    forward_earliest_arrival,
+    temporal_path_is_valid,
+)
+from repro.temporal.reachability import (
+    DistanceStats,
+    ScanResult,
+    scan_series,
+    scan_stream,
+)
+from repro.temporal.trips import PairTripIndex, TripSet, check_pareto
+
+__all__ = [
+    "TripSet",
+    "PairTripIndex",
+    "check_pareto",
+    "minimal_trips_from_paths",
+    "TripCollector",
+    "TripListCollector",
+    "CountingCollector",
+    "ChainCollector",
+    "scan_series",
+    "scan_stream",
+    "ScanResult",
+    "DistanceStats",
+    "forward_earliest_arrival",
+    "earliest_arrival_path",
+    "temporal_path_is_valid",
+    "bruteforce_earliest_arrival",
+    "bruteforce_minimal_trips",
+    "enumerate_temporal_paths",
+]

@@ -1,0 +1,171 @@
+"""Brute-force reference implementations (test oracles).
+
+Two independent ways to recompute what the backward engine produces:
+
+* :func:`enumerate_temporal_paths` — exhaustive DFS over every temporal
+  path (Definitions 2/3 taken literally), tractable only for toy inputs;
+  the ground truth for trips, minimality and hop counts.
+* :func:`bruteforce_minimal_trips` — repeated forward scans, one per
+  (source, departure) pair: quadratic-ish but independent of the
+  backward engine's staging logic.
+
+The test suite cross-validates all three implementations on random
+instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphseries.series import GraphSeries
+from repro.linkstream.stream import LinkStream
+from repro.temporal.paths import _forward_groups, forward_earliest_arrival
+from repro.temporal.trips import TripSet
+from repro.utils.errors import ValidationError
+
+
+def enumerate_temporal_paths(
+    obj: GraphSeries | LinkStream,
+    *,
+    max_hops: int = 8,
+) -> list[list[tuple[int, int, float]]]:
+    """Every temporal path with at most ``max_hops`` hops (DFS).
+
+    Paths are hop lists ``[(u, v, t), ...]`` with strictly increasing
+    times.  Node repetition is allowed (Definition 2 constrains only the
+    chaining and the times), so the count explodes quickly — keep inputs
+    tiny.
+    """
+    groups = list(_forward_groups(obj))
+    hops_by_time = [
+        (time_value, list(zip(us.tolist(), vs.tolist()))) for time_value, us, vs in groups
+    ]
+    total_hops = sum(len(h) for __, h in hops_by_time)
+    if total_hops > 64:
+        raise ValidationError(
+            f"{total_hops} hops is too many for exhaustive path enumeration"
+        )
+    paths: list[list[tuple[int, int, float]]] = []
+
+    def extend(path: list[tuple[int, int, float]], head: int, last_time: float) -> None:
+        if len(path) >= max_hops:
+            return
+        for time_value, hop_list in hops_by_time:
+            if time_value <= last_time:
+                continue
+            for u, v in hop_list:
+                if u == head:
+                    new_path = path + [(u, v, time_value)]
+                    paths.append(new_path)
+                    extend(new_path, v, time_value)
+
+    for time_value, hop_list in hops_by_time:
+        for u, v in hop_list:
+            start = [(u, v, time_value)]
+            paths.append(start)
+            extend(start, v, time_value)
+    return paths
+
+
+def minimal_trips_from_paths(
+    paths: list[list[tuple[int, int, float]]],
+    *,
+    include_self: bool = False,
+) -> list[tuple[int, int, float, float, int]]:
+    """Reduce an exhaustive path list to minimal trips from first principles.
+
+    Applies Definitions 5 and 7 literally: a path from ``u`` to ``v``
+    realizes the trip interval ``[t_first, t_last]``; a trip is minimal
+    when no other trip interval of the same pair is strictly included in
+    it; its hop count is the minimum over realizing paths.
+
+    Returns ``(u, v, dep, arr, min_hops)`` tuples sorted for comparison.
+    """
+    by_pair: dict[tuple[int, int], dict[tuple[float, float], int]] = {}
+    for path in paths:
+        u = path[0][0]
+        v = path[-1][1]
+        if u == v and not include_self:
+            continue
+        dep, arr = path[0][2], path[-1][2]
+        intervals = by_pair.setdefault((u, v), {})
+        key = (dep, arr)
+        hops = len(path)
+        if key not in intervals or hops < intervals[key]:
+            intervals[key] = hops
+    trips: list[tuple[int, int, float, float, int]] = []
+    for (u, v), intervals in by_pair.items():
+        for (dep, arr), hops in intervals.items():
+            minimal = True
+            for (dep2, arr2) in intervals:
+                if dep2 >= dep and arr2 <= arr and (dep2, arr2) != (dep, arr):
+                    minimal = False
+                    break
+            if minimal:
+                trips.append((u, v, dep, arr, hops))
+    trips.sort()
+    return trips
+
+
+def bruteforce_earliest_arrival(
+    obj: GraphSeries | LinkStream,
+    source: int,
+    depart_time: float,
+    *,
+    max_hops: int = 8,
+) -> np.ndarray:
+    """Earliest arrivals from exhaustive path enumeration (toy inputs)."""
+    arrival = np.full(obj.num_nodes, np.inf)
+    for path in enumerate_temporal_paths(obj, max_hops=max_hops):
+        if path[0][0] == source and path[0][2] >= depart_time:
+            v = path[-1][1]
+            arrival[v] = min(arrival[v], path[-1][2])
+    return arrival
+
+
+def bruteforce_minimal_trips(
+    obj: GraphSeries | LinkStream,
+    *,
+    include_self: bool = False,
+) -> TripSet:
+    """All minimal trips via repeated forward scans (mid-size test oracle).
+
+    For each source and each candidate departure time, a trip
+    ``(u, v, dep, EA)`` is minimal iff departing at the *next* candidate
+    time arrives strictly later; hop counts come with the forward scan.
+    """
+    if isinstance(obj, GraphSeries):
+        depart_values = [float(s) for s in obj.nonempty_steps()]
+        duration_extra = 1.0
+    elif isinstance(obj, LinkStream):
+        depart_values = [t.item() for t in obj.distinct_timestamps()]
+        duration_extra = 0.0
+    else:
+        raise ValidationError(f"expected GraphSeries or LinkStream, got {type(obj).__name__}")
+
+    n = obj.num_nodes
+    rows_u, rows_v, rows_dep, rows_arr, rows_hops = [], [], [], [], []
+    for source in range(n):
+        later_arrival = np.full(n, np.inf)
+        for dep in reversed(depart_values):
+            arrival, hops = forward_earliest_arrival(obj, source, dep)
+            improved = arrival < later_arrival
+            if not include_self:
+                improved[source] = False
+            for v in np.nonzero(improved)[0]:
+                rows_u.append(source)
+                rows_v.append(int(v))
+                rows_dep.append(dep)
+                rows_arr.append(float(arrival[v]))
+                rows_hops.append(int(hops[v]))
+            later_arrival = arrival
+    dep_arr = np.asarray(rows_dep)
+    arr_arr = np.asarray(rows_arr)
+    return TripSet(
+        np.asarray(rows_u, dtype=np.int64),
+        np.asarray(rows_v, dtype=np.int64),
+        dep_arr,
+        arr_arr,
+        np.asarray(rows_hops, dtype=np.int64),
+        arr_arr - dep_arr + duration_extra,
+    )

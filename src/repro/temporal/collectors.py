@@ -1,0 +1,120 @@
+"""Collector protocol for the reachability scan.
+
+The backward scan discovers minimal trips in bulk (one batch per source
+node per window).  Collectors consume those batches; different analyses
+need different materializations (full trip lists for validation,
+occupancy histograms for the saturation sweep, bare counts for metrics),
+so the engine is decoupled from storage via this small protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.temporal.trips import TripSet
+
+
+class TripCollector(Protocol):
+    """Anything that can consume minimal-trip batches from the scan."""
+
+    def record(
+        self,
+        source: int,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Consume one batch of minimal trips departing ``source`` at ``dep``."""
+        ...
+
+
+class TripListCollector:
+    """Materializes every minimal trip into a :class:`TripSet`."""
+
+    def __init__(self) -> None:
+        self._u: list[np.ndarray] = []
+        self._v: list[np.ndarray] = []
+        self._dep: list[np.ndarray] = []
+        self._arr: list[np.ndarray] = []
+        self._hops: list[np.ndarray] = []
+        self._dur: list[np.ndarray] = []
+
+    def record(
+        self,
+        source: int,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        count = targets.size
+        if not count:
+            return
+        self._u.append(np.full(count, source, dtype=np.int64))
+        self._v.append(targets.copy())
+        self._dep.append(np.full(count, dep))
+        self._arr.append(arrivals.copy())
+        self._hops.append(hops.copy())
+        self._dur.append(durations.copy())
+
+    def trips(self) -> TripSet:
+        """Assemble the collected batches into one :class:`TripSet`."""
+        if not self._u:
+            empty = np.empty(0, dtype=np.int64)
+            return TripSet(empty, empty.copy(), np.empty(0), np.empty(0), empty.copy(), np.empty(0))
+        return TripSet(
+            np.concatenate(self._u),
+            np.concatenate(self._v),
+            np.concatenate(self._dep),
+            np.concatenate(self._arr),
+            np.concatenate(self._hops),
+            np.concatenate(self._dur),
+        )
+
+
+class CountingCollector:
+    """Counts trips and tracks hop/duration extrema without storing them."""
+
+    def __init__(self) -> None:
+        self.num_trips = 0
+        self.max_hops = 0
+        self.max_duration = 0.0
+
+    def record(
+        self,
+        source: int,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        if not targets.size:
+            return
+        self.num_trips += targets.size
+        self.max_hops = max(self.max_hops, int(hops.max()))
+        self.max_duration = max(self.max_duration, float(durations.max()))
+
+
+class ChainCollector:
+    """Fans every batch out to several collectors."""
+
+    def __init__(self, *collectors: TripCollector) -> None:
+        self._collectors = collectors
+
+    def record(
+        self,
+        source: int,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        for collector in self._collectors:
+            collector.record(source, dep, targets, arrivals, hops, durations)

@@ -1,0 +1,163 @@
+"""Minimal-trip containers and per-pair indexes.
+
+A *trip* ``(u, v, t_dep, t_arr)`` states that some temporal path leaves
+``u`` and reaches ``v`` within ``[t_dep, t_arr]``; it is *minimal* when no
+trip of the same pair fits in a strictly smaller interval (Definition 5).
+Minimal trips of a pair form a Pareto staircase: sorted by departure,
+arrivals are strictly increasing too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class TripSet:
+    """Columnar set of minimal trips.
+
+    Attributes
+    ----------
+    u, v:
+        Node indices per trip.
+    dep, arr:
+        Departure and arrival *time values* — window indices for a graph
+        series, raw timestamps for a link stream.
+    hops:
+        Minimum hop count among temporal paths realizing the trip.
+    durations:
+        Trip durations under the right convention: ``arr - dep + 1`` for a
+        graph series (each index is a window of time), ``arr - dep`` for a
+        link stream (Definition 4).
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    dep: np.ndarray
+    arr: np.ndarray
+    hops: np.ndarray
+    durations: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            self.u.size,
+            self.v.size,
+            self.dep.size,
+            self.arr.size,
+            self.hops.size,
+            self.durations.size,
+        }
+        if len(lengths) != 1:
+            raise ValidationError("TripSet arrays must have equal length")
+
+    def __len__(self) -> int:
+        return self.u.size
+
+    def occupancy_rates(self) -> np.ndarray:
+        """``hops / duration`` per trip (Definition 7).
+
+        Raises if any trip has zero duration (possible for link-stream
+        trips made of a single event; occupancy is a graph-series notion).
+        """
+        if np.any(self.durations <= 0):
+            raise ValidationError("occupancy undefined for zero-duration trips")
+        return self.hops / self.durations
+
+    def select(self, mask: np.ndarray) -> "TripSet":
+        """Subset of trips selected by a boolean mask."""
+        return TripSet(
+            self.u[mask],
+            self.v[mask],
+            self.dep[mask],
+            self.arr[mask],
+            self.hops[mask],
+            self.durations[mask],
+        )
+
+    def as_tuples(self) -> list[tuple[int, int, float, float, int]]:
+        """Trips as ``(u, v, dep, arr, hops)`` tuples (small sets / tests)."""
+        return [
+            (int(a), int(b), c.item(), d.item(), int(e))
+            for a, b, c, d, e in zip(self.u, self.v, self.dep, self.arr, self.hops)
+        ]
+
+
+class PairTripIndex:
+    """Per-pair index over a :class:`TripSet` answering window queries.
+
+    The elongation validator (Definition 8) needs, for a series minimal
+    trip, the minimum duration among the *stream's* minimal trips of the
+    same pair lying inside an absolute time window.  Minimal trips of a
+    pair are Pareto-sorted, so a window query reduces to a contiguous
+    slice: departures >= a form a suffix, arrivals <= b form a prefix.
+    """
+
+    def __init__(self, trips: TripSet, num_nodes: int) -> None:
+        self._num_nodes = int(num_nodes)
+        key = trips.u.astype(np.int64) * num_nodes + trips.v
+        order = np.lexsort((trips.dep, key))
+        self._key = key[order]
+        self._dep = np.asarray(trips.dep, dtype=np.float64)[order]
+        self._arr = np.asarray(trips.arr, dtype=np.float64)[order]
+        self._dur = self._arr - self._dep
+        unique_keys, starts = np.unique(self._key, return_index=True)
+        self._pair_start = dict(zip(unique_keys.tolist(), starts.tolist()))
+        self._pair_end = dict(
+            zip(unique_keys.tolist(), np.append(starts[1:], self._key.size).tolist())
+        )
+
+    @property
+    def num_trips(self) -> int:
+        return self._key.size
+
+    def pair_slice(self, u: int, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(dep, arr)`` arrays of the pair's minimal trips."""
+        key = u * self._num_nodes + v
+        start = self._pair_start.get(key)
+        if start is None:
+            empty = np.empty(0)
+            return empty, empty
+        end = self._pair_end[key]
+        return self._dep[start:end], self._arr[start:end]
+
+    def min_duration_in_window(self, u: int, v: int, start: float, end: float) -> float | None:
+        """Minimum ``arr - dep`` among the pair's trips inside ``[start, end]``.
+
+        Returns ``None`` when no trip of the pair fits in the window.
+        """
+        key = u * self._num_nodes + v
+        lo = self._pair_start.get(key)
+        if lo is None:
+            return None
+        hi = self._pair_end[key]
+        dep = self._dep[lo:hi]
+        arr = self._arr[lo:hi]
+        i0 = int(np.searchsorted(dep, start, side="left"))
+        i1 = int(np.searchsorted(arr, end, side="right"))
+        if i0 >= i1:
+            return None
+        return float(self._dur[lo + i0 : lo + i1].min())
+
+
+def check_pareto(trips: TripSet) -> bool:
+    """Verify the Pareto-staircase invariant of a minimal-trip set.
+
+    For each pair, sorting by departure must sort arrivals strictly
+    increasingly (no trip may contain another).  Used by tests.
+    """
+    if not len(trips):
+        return True
+    num_nodes = int(max(trips.u.max(), trips.v.max())) + 1
+    key = trips.u.astype(np.int64) * num_nodes + trips.v
+    order = np.lexsort((trips.dep, key))
+    key_sorted = key[order]
+    dep_sorted = np.asarray(trips.dep)[order]
+    arr_sorted = np.asarray(trips.arr)[order]
+    same_pair = key_sorted[1:] == key_sorted[:-1]
+    dep_increasing = dep_sorted[1:] > dep_sorted[:-1]
+    arr_increasing = arr_sorted[1:] > arr_sorted[:-1]
+    return bool(np.all(~same_pair | (dep_increasing & arr_increasing)))

@@ -1,0 +1,39 @@
+"""Small shared helpers: errors, time-unit parsing, RNG plumbing, ASCII plots.
+
+These utilities carry no domain logic of their own; they exist so the
+domain packages (``repro.linkstream``, ``repro.core``, ...) stay focused.
+"""
+
+from repro.utils.errors import (
+    AggregationError,
+    LinkStreamError,
+    ReproError,
+    SweepError,
+    ValidationError,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.timeunits import (
+    DAY,
+    HOUR,
+    MINUTE,
+    SECOND,
+    WEEK,
+    format_duration,
+    parse_duration,
+)
+
+__all__ = [
+    "AggregationError",
+    "LinkStreamError",
+    "ReproError",
+    "SweepError",
+    "ValidationError",
+    "ensure_rng",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "format_duration",
+    "parse_duration",
+]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class.  Subclasses mark which subsystem rejected the input.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class LinkStreamError(ReproError):
+    """Invalid link-stream construction or operation."""
+
+
+class AggregationError(ReproError):
+    """Invalid aggregation request (bad window length, empty stream...)."""
+
+
+class SweepError(ReproError):
+    """Invalid aggregation-period sweep specification."""
+
+
+class ValidationError(ReproError):
+    """Invalid argument outside the other categories."""

@@ -1,0 +1,84 @@
+"""Time-unit helpers.
+
+The paper reports every scale in human units (``18h``, ``46h``, ``12h``)
+while all library computations run in seconds.  This module converts both
+ways so datasets, results and reports can use readable durations.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.utils.errors import ValidationError
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+_UNITS = {
+    "s": SECOND,
+    "sec": SECOND,
+    "second": SECOND,
+    "seconds": SECOND,
+    "m": MINUTE,
+    "min": MINUTE,
+    "minute": MINUTE,
+    "minutes": MINUTE,
+    "h": HOUR,
+    "hour": HOUR,
+    "hours": HOUR,
+    "d": DAY,
+    "day": DAY,
+    "days": DAY,
+    "w": WEEK,
+    "week": WEEK,
+    "weeks": WEEK,
+}
+
+_DURATION_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_duration(text: str | float | int) -> float:
+    """Convert a human duration such as ``"18h"`` or ``"2.5 days"`` to seconds.
+
+    Numbers (or numeric strings without a unit) are taken as seconds.
+
+    >>> parse_duration("18h")
+    64800.0
+    >>> parse_duration(90)
+    90.0
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _DURATION_RE.match(text)
+    if match is None:
+        raise ValidationError(f"cannot parse duration: {text!r}")
+    value, unit = match.groups()
+    if not unit:
+        return float(value)
+    factor = _UNITS.get(unit.lower())
+    if factor is None:
+        raise ValidationError(f"unknown time unit {unit!r} in {text!r}")
+    return float(value) * factor
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in seconds with the most readable unit.
+
+    >>> format_duration(64800.0)
+    '18h'
+    >>> format_duration(90)
+    '1.5min'
+    """
+    seconds = float(seconds)
+    if seconds != seconds:  # NaN
+        return "n/a"
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    for unit, factor in (("d", DAY), ("h", HOUR), ("min", MINUTE)):
+        if seconds >= factor:
+            value = seconds / factor
+            return f"{value:.3g}{unit}"
+    return f"{seconds:.3g}s"

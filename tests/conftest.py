@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic streams used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linkstream import LinkStream
+
+
+@pytest.fixture
+def figure1_stream() -> LinkStream:
+    """A toy stream modeled on Figure 1 of the paper.
+
+    Five nodes a..e (0..4), twelve timestamps; contains the bold
+    temporal path e -> d -> a -> b used in the figure.
+    """
+    triples = [
+        ("a", "b", 1),
+        ("b", "c", 2),
+        ("e", "d", 3),
+        ("c", "d", 4),
+        ("d", "a", 5),
+        ("a", "b", 7),
+        ("b", "e", 8),
+        ("d", "c", 9),
+        ("c", "a", 10),
+        ("a", "e", 11),
+        ("e", "b", 12),
+    ]
+    return LinkStream.from_triples(triples, directed=False)
+
+
+@pytest.fixture
+def chain_stream() -> LinkStream:
+    """0 -> 1 -> 2 -> 3 with one event per hop at times 1, 3, 5."""
+    return LinkStream([0, 1, 2], [1, 2, 3], [1, 3, 5], directed=True)
+
+
+@pytest.fixture
+def medium_stream() -> LinkStream:
+    """A deterministic 30-node, 400-event random stream (integration tests)."""
+    rng = np.random.default_rng(42)
+    n, m = 30, 400
+    u = rng.integers(0, n, m)
+    v = rng.integers(0, n, m)
+    mask = u != v
+    t = rng.integers(0, 5000, m)[mask]
+    return LinkStream(u[mask], v[mask], t, directed=True, num_nodes=n)

@@ -1,0 +1,78 @@
+"""Unit tests for the related-work baseline selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import convergence_scale, periodicity_scale, tradeoff_scale
+from repro.linkstream import LinkStream
+from repro.utils.errors import SweepError, ValidationError
+from repro.utils.timeunits import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def daily_stream():
+    """A strongly daily-periodic stream: bursts at hour 12 of each day."""
+    rng = np.random.default_rng(0)
+    days = 20
+    per_day = 40
+    times = np.concatenate(
+        [d * DAY + 12 * HOUR + rng.integers(0, int(2 * HOUR), per_day) for d in range(days)]
+    )
+    u = rng.integers(0, 15, times.size)
+    v = (u + 1 + rng.integers(0, 14, times.size)) % 15
+    return LinkStream(u, v, times, num_nodes=15)
+
+
+class TestTradeoff:
+    def test_picks_interior_scale(self, medium_stream):
+        deltas = np.geomspace(1, medium_stream.span, 12)
+        result = tradeoff_scale(medium_stream, deltas)
+        assert result.delta in deltas.tolist()
+        # Loss rises toward 1 (events at exactly t_max may spill into a
+        # final sliver window, so it can stop marginally short).
+        assert result.loss[-1] > 0.95
+        assert 0 <= result.objective.min() <= 1
+
+    def test_weight_moves_the_answer(self, medium_stream):
+        """The arbitrariness the paper criticizes: the selected scale
+        depends on the loss/noise ponderation."""
+        deltas = np.geomspace(1, medium_stream.span, 16)
+        loss_heavy = tradeoff_scale(medium_stream, deltas, loss_weight=0.95)
+        noise_heavy = tradeoff_scale(medium_stream, deltas, loss_weight=0.05)
+        assert loss_heavy.delta <= noise_heavy.delta
+
+    def test_validation(self, medium_stream):
+        with pytest.raises(SweepError):
+            tradeoff_scale(medium_stream, np.array([1.0]))
+        with pytest.raises(SweepError):
+            tradeoff_scale(medium_stream, np.array([1.0, 2.0]), loss_weight=2.0)
+
+
+class TestPeriodicity:
+    def test_detects_daily_rhythm(self, daily_stream):
+        result = periodicity_scale(daily_stream, bin_width=HOUR)
+        assert result.dominant_period == pytest.approx(DAY, rel=0.15)
+        assert result.delta == pytest.approx(DAY / 2, rel=0.15)
+
+    def test_needs_events(self):
+        with pytest.raises(ValidationError):
+            periodicity_scale(LinkStream([0], [1], [0]))
+
+    def test_spectrum_exposed(self, daily_stream):
+        result = periodicity_scale(daily_stream, bin_width=HOUR)
+        assert result.frequencies.size == result.power.size
+        assert result.power[0] == pytest.approx(0.0, abs=1e-6)  # mean removed
+
+
+class TestConvergence:
+    def test_windows_cover_stream(self, medium_stream):
+        result = convergence_scale(medium_stream, probe=50.0)
+        assert result.delta > 0
+        assert result.window_lengths.sum() == pytest.approx(
+            result.boundaries[-1] - result.boundaries[0]
+        )
+
+    def test_probes_affect_granularity(self, medium_stream):
+        fine = convergence_scale(medium_stream, probe=20.0)
+        coarse = convergence_scale(medium_stream, probe=2000.0)
+        assert fine.window_lengths.size >= coarse.window_lengths.size

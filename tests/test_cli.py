@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.generators import time_uniform_stream
+from repro.linkstream import read_tsv, write_tsv
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    stream = time_uniform_stream(10, 6, 5000.0, seed=0)
+    path = tmp_path / "events.tsv"
+    write_tsv(stream, path)
+    return path
+
+
+class TestAnalyze:
+    def test_prints_gamma(self, events_file, capsys):
+        code = main(["analyze", str(events_file), "--num-deltas", "8", "--undirected"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "saturation scale gamma" in out
+        assert "<-- gamma" in out
+
+    def test_validate_flag(self, events_file, capsys):
+        code = main(
+            ["analyze", str(events_file), "--num-deltas", "8", "--validate", "--undirected"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transitions collapse" in out
+        assert "recommendation" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.tsv")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_alternative_method(self, events_file, capsys):
+        code = main(
+            ["analyze", str(events_file), "--num-deltas", "8", "--method", "cre"]
+        )
+        assert code == 0
+        assert "'cre'" in capsys.readouterr().out
+
+    def test_unknown_method_fails_cleanly(self, events_file, capsys):
+        code = main(["analyze", str(events_file), "--method", "bogus"])
+        assert code == 2
+
+
+class TestAggregate:
+    def test_writes_window_edges(self, events_file, tmp_path, capsys):
+        out_path = tmp_path / "series.tsv"
+        code = main(
+            [
+                "aggregate",
+                str(events_file),
+                "--delta",
+                "500",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        lines = [l for l in out_path.read_text().splitlines() if not l.startswith("#")]
+        assert lines
+        windows = {int(l.split("\t")[0]) for l in lines}
+        assert max(windows) <= 10
+
+    def test_human_delta_units(self, events_file, tmp_path):
+        out_path = tmp_path / "series.tsv"
+        code = main(
+            ["aggregate", str(events_file), "--delta", "10min", "--output", str(out_path)]
+        )
+        assert code == 0
+
+
+class TestGenerate:
+    def test_uniform_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "synth.tsv"
+        code = main(
+            [
+                "generate",
+                "uniform",
+                "--output",
+                str(out_path),
+                "--nodes",
+                "8",
+                "--links-per-pair",
+                "3",
+                "--span",
+                "1000",
+            ]
+        )
+        assert code == 0
+        stream = read_tsv(out_path)
+        assert stream.num_events == 28 * 3
+
+    def test_dataset_replica(self, tmp_path):
+        out_path = tmp_path / "enron.tsv"
+        code = main(["generate", "enron", "--output", str(out_path)])
+        assert code == 0
+        assert read_tsv(out_path).num_events > 1000
+
+    def test_two_mode(self, tmp_path):
+        out_path = tmp_path / "tm.tsv"
+        code = main(
+            [
+                "generate",
+                "two-mode",
+                "--output",
+                str(out_path),
+                "--nodes",
+                "6",
+                "--links-per-pair",
+                "10",
+                "--span",
+                "2000",
+                "--rho",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        assert read_tsv(out_path).num_events > 0
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        code = main(["datasets"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("irvine", "facebook", "enron", "manufacturing"):
+            assert name in out

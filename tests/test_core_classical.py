@@ -1,0 +1,78 @@
+"""Unit tests for the classical-parameter sweep (Section 3 / Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classical_sweep, log_delta_grid
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    import numpy as np
+
+    from repro.linkstream import LinkStream
+
+    rng = np.random.default_rng(5)
+    n, m = 25, 500
+    u = rng.integers(0, n, m)
+    v = (u + 1 + rng.integers(0, n - 1, m)) % n
+    stream = LinkStream(u, v, rng.integers(0, 10000, m), num_nodes=n)
+    deltas = log_delta_grid(stream, num=10)
+    return stream, classical_sweep(stream, deltas)
+
+
+class TestSmoothDrift:
+    """The Section 3 negative result: all classical parameters drift
+    monotonically (in the large) from one extreme to the other."""
+
+    def test_density_increases(self, sweep):
+        __, result = sweep
+        density = result.column("density")
+        assert density[-1] > density[0]
+        assert density[-1] == max(density)
+
+    def test_non_isolated_increases_to_n(self, sweep):
+        stream, result = sweep
+        non_isolated = result.column("non_isolated")
+        assert non_isolated[-1] == pytest.approx(stream.num_nodes, abs=1.0)
+        assert non_isolated[0] < non_isolated[-1]
+
+    def test_largest_component_increases(self, sweep):
+        __, result = sweep
+        lcc = result.column("largest_component")
+        assert lcc[-1] == max(lcc)
+
+    def test_distance_in_hops_decreases_to_one(self, sweep):
+        __, result = sweep
+        hops = result.column("distance_hops")
+        assert hops[-1] == pytest.approx(1.0)
+        assert hops[0] > hops[-1]
+
+    def test_distance_in_time_follows_inverse_delta(self, sweep):
+        """log(d_time) vs log(delta) is close to a line of slope -1 at
+        small delta (the power law of Figure 2 bottom-left)."""
+        __, result = sweep
+        deltas = result.deltas[:5]
+        dtime = result.column("distance_time")[:5]
+        slope = np.polyfit(np.log(deltas), np.log(dtime), 1)[0]
+        assert -1.35 < slope < -0.65
+
+    def test_distance_in_absolute_time_increases(self, sweep):
+        __, result = sweep
+        abs_time = result.column("distance_abs_time")
+        assert abs_time[-1] == max(abs_time)
+        # At full aggregation one window: d_abstime = span-scale value.
+        assert abs_time[-1] == pytest.approx(result.deltas[-1], rel=1e-6)
+
+
+class TestInterface:
+    def test_unknown_column_rejected(self, sweep):
+        __, result = sweep
+        with pytest.raises(KeyError):
+            result.column("modularity")
+
+    def test_skip_distances(self, sweep):
+        stream, __ = sweep
+        cheap = classical_sweep(stream, [10.0, 100.0], compute_distances=False)
+        assert np.isnan(cheap.column("distance_time")).all()
+        assert cheap.column("density").size == 2

@@ -1,0 +1,65 @@
+"""Unit tests for per-period decomposition (Section 9 perspective)."""
+
+import numpy as np
+import pytest
+
+from repro.core import per_period_saturation, split_by_activity
+from repro.generators import two_mode_stream
+from repro.linkstream import LinkStream
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def bimodal():
+    # 5 alternations of dense (40 links/pair over 500s) and sparse
+    # (2 links/pair over 500s) periods on 8 nodes.
+    return two_mode_stream(8, 40, 500.0, 2, 500.0, alternations=5, seed=0)
+
+
+class TestSplit:
+    def test_labels_alternate(self, bimodal):
+        periods = split_by_activity(bimodal, bin_width=250.0)
+        labels = [p.label for p in periods]
+        assert "high" in labels and "low" in labels
+        # Adjacent periods have different labels by construction.
+        assert all(a != b for a, b in zip(labels, labels[1:]))
+
+    def test_events_partition(self, bimodal):
+        periods = split_by_activity(bimodal, bin_width=250.0)
+        assert sum(p.num_events for p in periods) == bimodal.num_events
+
+    def test_periods_cover_span(self, bimodal):
+        periods = split_by_activity(bimodal, bin_width=250.0)
+        assert periods[0].start == bimodal.t_min
+        assert periods[-1].end >= bimodal.t_max
+
+    def test_needs_events(self):
+        with pytest.raises(ValidationError):
+            split_by_activity(LinkStream([0], [1], [0]))
+
+
+class TestPerPeriodGamma:
+    def test_high_activity_gets_smaller_gamma(self, bimodal):
+        result = per_period_saturation(
+            bimodal, bin_width=250.0, num_deltas=10, min_events=30
+        )
+        assert result.high_result is not None
+        assert result.low_result is not None
+        assert result.high_result.gamma < result.low_result.gamma
+
+    def test_recommended_is_smallest(self, bimodal):
+        result = per_period_saturation(
+            bimodal, bin_width=250.0, num_deltas=10, min_events=30
+        )
+        assert result.recommended_delta == min(
+            result.high_result.gamma, result.low_result.gamma
+        )
+
+    def test_sparse_class_skipped_below_min_events(self, bimodal):
+        result = per_period_saturation(
+            bimodal, bin_width=250.0, num_deltas=8, min_events=10**9
+        )
+        assert result.high_result is None
+        assert result.low_result is None
+        with pytest.raises(ValidationError):
+            __ = result.recommended_delta

@@ -1,0 +1,70 @@
+"""Unit tests for occupancy collection (Definition 7 in practice)."""
+
+import numpy as np
+import pytest
+
+from repro.core import series_occupancy, stream_occupancy_at
+from repro.core.occupancy import OccupancyCollector
+from repro.graphseries import aggregate
+from repro.linkstream import LinkStream
+from repro.utils.errors import ValidationError
+
+
+class TestCollector:
+    def test_rejects_single_bin(self):
+        with pytest.raises(ValidationError):
+            OccupancyCollector(bins=1)
+
+    def test_empty_collection_rejected(self):
+        collector = OccupancyCollector()
+        with pytest.raises(ValidationError):
+            collector.distribution()
+
+    def test_exact_equals_histogram_for_coarse_values(self):
+        """With few distinct occupancy values, fine histograms agree with
+        exact collection on every statistic we use."""
+        rng = np.random.default_rng(0)
+        n, m = 20, 300
+        u = rng.integers(0, n, m)
+        v = (u + 1 + rng.integers(0, n - 1, m)) % n
+        stream = LinkStream(u, v, rng.integers(0, 2000, m), num_nodes=n)
+        series = aggregate(stream, 50.0)
+        exact, count_e = series_occupancy(series, exact=True)
+        hist, count_h = series_occupancy(series, bins=8192)
+        assert count_e == count_h
+        assert hist.mk_proximity() == pytest.approx(exact.mk_proximity(), abs=2e-3)
+        assert hist.std() == pytest.approx(exact.std(), abs=2e-3)
+        assert hist.mass_at(1.0) == pytest.approx(exact.mass_at(1.0))
+
+
+class TestSeriesOccupancy:
+    def test_single_window_all_ones(self, figure1_stream):
+        series = aggregate(figure1_stream, figure1_stream.span + 1)
+        dist, count = series_occupancy(series)
+        assert dist.mass_at(1.0) == pytest.approx(1.0)
+        assert count == series.num_edges_total * 2  # undirected: both directions
+
+    def test_chain_occupancies(self, chain_stream):
+        # Windows at steps 0,2,4: trip 0->3 has 3 hops over 5 windows.
+        series = aggregate(chain_stream, 1.0)
+        dist, count = series_occupancy(series, exact=True)
+        assert count == 6
+        # 0.6: trip 0->3 (3 hops over 5 windows); 2/3: trips 0->2 and
+        # 1->3 (2 hops over 3 windows); 1.0: the three direct edges.
+        assert sorted(dist.values.tolist()) == pytest.approx([0.6, 2 / 3, 1.0])
+        assert dist.weights.tolist() == pytest.approx([1 / 6, 2 / 6, 3 / 6])
+
+    def test_occupancy_at_one_fraction_grows_with_delta(self, medium_stream):
+        """Beyond saturation the mass at occupancy 1 must grow (the
+        phenomenon behind Figure 3)."""
+        small, __ = series_occupancy(aggregate(medium_stream, 20.0))
+        large, __ = series_occupancy(aggregate(medium_stream, 2000.0))
+        assert large.mass_at(1.0) > small.mass_at(1.0)
+
+
+class TestStreamOccupancyAt:
+    def test_returns_consistent_triple(self, medium_stream):
+        dist, series, count = stream_occupancy_at(medium_stream, 100.0)
+        assert series.delta == 100.0
+        assert count == int(dist.total_weight)
+        assert 0 < dist.mean() <= 1

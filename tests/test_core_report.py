@@ -1,0 +1,51 @@
+"""Unit tests for the one-call analysis report."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_stream
+from repro.generators import time_uniform_stream
+from repro.linkstream import LinkStream
+
+
+@pytest.fixture(scope="module")
+def report():
+    stream = time_uniform_stream(12, 6, 8000.0, seed=4)
+    return analyze_stream(stream, num_deltas=10, bins=1024)
+
+
+class TestAnalyzeStream:
+    def test_bundles_all_parts(self, report):
+        assert report.summary.num_nodes == 12
+        assert report.gamma > 0
+        assert report.transitions_lost_at_gamma is not None
+        assert 0 <= report.transitions_lost_at_gamma <= 1
+        assert report.elongation_at_gamma is not None
+
+    def test_recommendation_is_half_gamma(self, report):
+        assert report.recommended_delta == pytest.approx(report.gamma / 2)
+
+    def test_text_rendering(self, report):
+        text = report.to_text()
+        assert "saturation scale gamma" in text
+        assert "recommendation" in text
+        assert "transitions" in text
+
+    def test_validation_can_be_skipped(self):
+        stream = time_uniform_stream(8, 4, 2000.0, seed=1)
+        report = analyze_stream(stream, validate=False, num_deltas=8, bins=512)
+        assert report.transitions_lost_at_gamma is None
+        assert report.elongation_at_gamma is None
+        assert "recommendation" in report.to_text()
+
+    def test_stream_without_transitions(self):
+        # Two disjoint pairs at far-apart times: no 2-hop trips exist.
+        stream = LinkStream([0, 2], [1, 3], [0, 500], num_nodes=4)
+        report = analyze_stream(stream, num_deltas=6, bins=256)
+        assert report.transitions_lost_at_gamma is None
+        assert report.to_text()  # renders without the loss line
+
+    def test_kwargs_forwarded(self):
+        stream = time_uniform_stream(8, 4, 2000.0, seed=2)
+        report = analyze_stream(stream, validate=False, num_deltas=8, method="cre")
+        assert report.saturation.method == "cre"

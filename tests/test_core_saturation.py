@@ -1,0 +1,108 @@
+"""Unit and behavior tests for the occupancy method (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import occupancy_method
+from repro.generators import time_uniform_stream
+from repro.linkstream import LinkStream
+from repro.utils.errors import SweepError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return time_uniform_stream(12, 6, 5000.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def result(synthetic):
+    return occupancy_method(synthetic, num_deltas=14, extra_methods=("std", "cre"))
+
+
+class TestInterface:
+    def test_needs_events(self):
+        with pytest.raises(ValidationError):
+            occupancy_method(LinkStream([0], [1], [0]))
+
+    def test_rejects_bad_grid(self, synthetic):
+        with pytest.raises(SweepError):
+            occupancy_method(synthetic, deltas=[5.0])
+        with pytest.raises(SweepError):
+            occupancy_method(synthetic, deltas=[-1.0, 5.0])
+
+    def test_rejects_unknown_method(self, synthetic):
+        with pytest.raises(ValidationError):
+            occupancy_method(synthetic, deltas=[1.0, 10.0], method="bogus")
+
+    def test_gamma_is_grid_point(self, result):
+        assert result.gamma in result.deltas.tolist()
+
+    def test_points_sorted_by_delta(self, result):
+        assert np.all(np.diff(result.deltas) > 0)
+
+    def test_describe_mentions_method(self, result):
+        assert "mk" in result.describe()
+
+
+class TestBehaviour:
+    def test_mk_curve_is_unimodal_in_the_large(self, result):
+        """Proximity rises from the resolution, peaks at gamma, and falls
+        to ~0 at full aggregation (the Figure 3 shape).  We assert the
+        robust consequences rather than strict unimodality (sampling
+        noise can ripple the curve)."""
+        scores = result.scores()
+        peak = scores.argmax()
+        assert scores[peak] > scores[0]
+        assert scores[peak] > scores[-1]
+        assert scores[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_distribution_migrates_to_one(self, result):
+        mass_at_one = np.array([p.distribution.mass_at(1.0) for p in result.points])
+        assert mass_at_one[-1] == pytest.approx(1.0)
+        assert mass_at_one[0] < 0.5
+
+    def test_trip_count_decreases_with_delta(self, result):
+        """Coarser aggregation merges windows, so there are fewer minimal
+        trips (monotone up to dedup noise)."""
+        counts = np.array([p.num_trips for p in result.points], dtype=float)
+        assert counts[-1] < counts[0]
+
+    def test_gamma_for_alternative_methods(self, result):
+        for name in ("std", "cre"):
+            gamma = result.gamma_for(name)
+            assert gamma in result.deltas.tolist()
+
+    def test_point_at_gamma(self, result):
+        point = result.point_at_gamma()
+        assert point.delta == result.gamma
+        assert point.scores["mk"] == max(p.scores["mk"] for p in result.points)
+
+    def test_alternative_primary_method(self, synthetic):
+        by_std = occupancy_method(synthetic, num_deltas=10, method="std")
+        assert by_std.method == "std"
+        assert by_std.gamma in by_std.deltas.tolist()
+        # mk is always evaluated alongside.
+        assert "mk" in by_std.points[0].scores
+
+
+class TestRefinement:
+    def test_refinement_adds_points_and_keeps_gamma_close(self, synthetic):
+        coarse = occupancy_method(synthetic, num_deltas=8)
+        fine = occupancy_method(synthetic, num_deltas=8, refine_rounds=1, refine_points=6)
+        assert len(fine.points) > len(coarse.points)
+        # Refined gamma must lie within the coarse bracketing interval.
+        deltas = coarse.deltas
+        idx = int(np.argmax(coarse.scores()))
+        low = deltas[max(idx - 1, 0)]
+        high = deltas[min(idx + 1, deltas.size - 1)]
+        assert low <= fine.gamma <= high
+
+
+class TestScaling:
+    def test_gamma_scales_with_time_axis(self, synthetic):
+        """Rescaling every timestamp by c rescales gamma by c (the method
+        has no absolute time unit baked in)."""
+        slow = synthetic.scale_time(3.0)
+        base = occupancy_method(synthetic, num_deltas=12)
+        scaled = occupancy_method(slow, num_deltas=12)
+        assert scaled.gamma == pytest.approx(3.0 * base.gamma, rel=0.01)

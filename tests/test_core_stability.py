@@ -1,0 +1,51 @@
+"""Unit tests for the γ-stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import gamma_stability
+from repro.generators import time_uniform_stream
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def stable_stream():
+    return time_uniform_stream(12, 8, 8000.0, seed=2)
+
+
+class TestGammaStability:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        stream = time_uniform_stream(12, 8, 8000.0, seed=2)
+        return gamma_stability(
+            stream, num_resamples=6, fraction=0.8, seed=0, num_deltas=10, bins=1024
+        )
+
+    def test_collects_requested_resamples(self, result):
+        assert result.gammas.size == 6
+        assert result.fraction == 0.8
+
+    def test_gamma_is_stable_on_homogeneous_stream(self, result):
+        # Time-uniform streams have a well-defined scale: subsampled
+        # gammas stay within a small factor of each other.
+        assert result.spread_factor < 6.0
+        assert result.within_factor(4.0) >= 0.5
+
+    def test_quantiles_ordered(self, result):
+        q10, q50, q90 = result.quantiles()
+        assert q10 <= q50 <= q90
+
+    def test_parameter_validation(self, stable_stream):
+        with pytest.raises(ValidationError):
+            gamma_stability(stable_stream, fraction=0.0)
+        with pytest.raises(ValidationError):
+            gamma_stability(stable_stream, num_resamples=1)
+
+    def test_deterministic_given_seed(self, stable_stream):
+        a = gamma_stability(
+            stable_stream, num_resamples=3, seed=5, num_deltas=8, bins=512
+        )
+        b = gamma_stability(
+            stable_stream, num_resamples=3, seed=5, num_deltas=8, bins=512
+        )
+        assert np.array_equal(a.gammas, b.gammas)

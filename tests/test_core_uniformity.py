@@ -1,0 +1,66 @@
+"""Unit tests for the selection-method registry (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OccupancyDistribution,
+    available_methods,
+    get_method,
+    score_distribution,
+    shannon_method,
+    uniform_reference,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestRegistry:
+    def test_all_five_paper_methods_present(self):
+        names = available_methods()
+        for expected in ("mk", "std", "cv", "shannon10", "cre"):
+            assert expected in names
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            get_method("nope")
+
+    def test_dynamic_shannon_lookup(self):
+        method = get_method("shannon25")
+        dist = uniform_reference(1000)
+        assert method.score(dist) == pytest.approx(np.log(25), abs=1e-2)
+
+    def test_shannon_method_validates_slots(self):
+        with pytest.raises(ValidationError):
+            shannon_method(1)
+
+    def test_descriptions_and_flags(self):
+        assert get_method("mk").recommended
+        assert not get_method("cv").recommended
+        assert "entropy" in get_method("cre").description
+
+
+class TestScoring:
+    def test_uniform_maximizes_every_recommended_method(self):
+        """The uniform density must outscore concentrated distributions
+        under every recommended selector (that is the whole point)."""
+        uniform = uniform_reference(2048)
+        low = OccupancyDistribution(np.linspace(0.01, 0.1, 50))
+        high = OccupancyDistribution([1.0])
+        for name in ("mk", "std", "shannon10", "cre"):
+            score = get_method(name).score
+            assert score(uniform) > score(low), name
+            assert score(uniform) > score(high), name
+
+    def test_cv_degenerates_to_low_mean(self):
+        """The variation coefficient prefers tiny-mean distributions —
+        the failure mode the paper reports."""
+        uniform = uniform_reference(2048)
+        low = OccupancyDistribution([0.001, 0.01], [1, 1])
+        cv = get_method("cv").score
+        assert cv(low) > cv(uniform)
+
+    def test_score_distribution_batches(self):
+        dist = uniform_reference(128)
+        scores = score_distribution(dist, ("mk", "std"))
+        assert set(scores) == {"mk", "std"}
+        assert scores["mk"] == pytest.approx(dist.mk_proximity())

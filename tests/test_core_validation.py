@@ -1,0 +1,128 @@
+"""Unit tests for the loss-validation measures (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    elongation_at,
+    elongation_curve,
+    shortest_transitions,
+    stream_minimal_trips,
+    transition_loss_curve,
+    transitions_lost_fraction,
+)
+from repro.linkstream import LinkStream
+from repro.temporal import PairTripIndex
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def transit_stream():
+    # Transitions: 0->1 at 10 then 1->2 at 12 (gap 2); 3->4 at 100 then
+    # 4->5 at 130 (gap 30).
+    return LinkStream(
+        [0, 1, 3, 4],
+        [1, 2, 4, 5],
+        [10, 12, 100, 130],
+        num_nodes=6,
+    )
+
+
+class TestShortestTransitions:
+    def test_finds_two_hop_minimal_trips(self, transit_stream):
+        transitions = shortest_transitions(transit_stream)
+        got = {(int(u), int(v), d, a) for u, v, d, a in
+               zip(transitions.u, transitions.v, transitions.dep, transitions.arr)}
+        assert got == {(0, 2, 10, 12), (3, 5, 100, 130)}
+
+    def test_direct_edges_not_transitions(self, chain_stream):
+        transitions = shortest_transitions(chain_stream)
+        assert np.all(transitions.hops == 2)
+
+    def test_accepts_precomputed_trips(self, transit_stream):
+        trips = stream_minimal_trips(transit_stream)
+        transitions = shortest_transitions(transit_stream, trips)
+        assert len(transitions) == 2
+
+
+class TestLossFraction:
+    def test_small_delta_loses_nothing(self, transit_stream):
+        transitions = shortest_transitions(transit_stream)
+        assert transitions_lost_fraction(transitions, 1.0, origin=10) == 0.0
+
+    def test_mid_delta_loses_short_gap_transition(self, transit_stream):
+        transitions = shortest_transitions(transit_stream)
+        # delta=5, origin=10: hops at 10,12 share window 0; 100,130 differ.
+        assert transitions_lost_fraction(transitions, 5.0, origin=10) == pytest.approx(0.5)
+
+    def test_huge_delta_loses_everything(self, transit_stream):
+        transitions = shortest_transitions(transit_stream)
+        assert transitions_lost_fraction(transitions, 1000.0, origin=10) == 1.0
+
+    def test_empty_transitions_rejected(self):
+        stream = LinkStream([0], [1], [0])
+        trips = stream_minimal_trips(stream)
+        transitions = shortest_transitions(stream, trips)
+        with pytest.raises(ValidationError):
+            transitions_lost_fraction(transitions, 1.0, origin=0)
+
+
+class TestLossCurve:
+    def test_monotone_in_the_large(self, medium_stream):
+        # Top the grid out just above the span so the coarsest point is a
+        # true single-window aggregation.
+        deltas = np.geomspace(1, medium_stream.span * 1.01, 12)
+        curve = transition_loss_curve(medium_stream, deltas)
+        assert curve.lost_fractions[0] <= 0.2
+        assert curve.lost_fractions[-1] == 1.0
+        assert curve.num_transitions > 0
+
+    def test_lost_at_nearest_grid_point(self, medium_stream):
+        deltas = np.array([1.0, 10.0, 100.0])
+        curve = transition_loss_curve(medium_stream, deltas)
+        assert curve.lost_at(9.0) == curve.lost_fractions[1]
+
+    def test_stream_without_transitions_rejected(self):
+        stream = LinkStream([0, 2], [1, 3], [0, 5], num_nodes=4)
+        with pytest.raises(ValidationError):
+            transition_loss_curve(stream, np.array([1.0, 2.0]))
+
+
+class TestElongation:
+    def test_exact_factors_on_chain(self, chain_stream):
+        # delta=1, origin=1; multi-window series trips and their factors:
+        #   0->2 (3 windows) vs stream trip of duration 2 -> 1.5
+        #   1->3 (3 windows) vs duration 2                -> 1.5
+        #   0->3 (5 windows) vs duration 4                -> 1.25
+        point = elongation_at(chain_stream, 1.0)
+        assert point.num_trips_measured == 3
+        assert point.mean_factor == pytest.approx((1.5 + 1.5 + 1.25) / 3, rel=1e-6)
+
+    def test_factor_at_least_one_on_average_grid(self, medium_stream):
+        deltas = np.geomspace(1, medium_stream.span / 4, 6)
+        curve = elongation_curve(medium_stream, deltas)
+        measured = curve.mean_factors[~np.isnan(curve.mean_factors)]
+        assert measured.size > 0
+        # The series cannot beat the stream's fastest trip by more than
+        # the windowing slack; on aggregate the factor stays near >= 1.
+        assert np.all(measured > 0.5)
+
+    def test_factor_grows_with_delta(self, medium_stream):
+        small = elongation_at(medium_stream, 2.0)
+        large = elongation_at(medium_stream, medium_stream.span / 3)
+        assert large.mean_factor > small.mean_factor
+
+    def test_reuses_precomputed_index(self, chain_stream):
+        index = PairTripIndex(stream_minimal_trips(chain_stream), chain_stream.num_nodes)
+        point = elongation_at(chain_stream, 1.0, stream_index=index)
+        assert point.mean_factor == pytest.approx((1.5 + 1.5 + 1.25) / 3, rel=1e-6)
+
+    def test_subsampling_bounds_cost(self, medium_stream):
+        point = elongation_at(medium_stream, 5.0, max_trips=50)
+        assert point.num_trips_measured <= 50
+
+    def test_no_multiwindow_trips_yields_nan(self):
+        stream = LinkStream([0, 1], [1, 2], [0, 0], num_nodes=3)
+        point = elongation_at(stream, 10.0)
+        assert point.num_trips_measured == 0
+        assert np.isnan(point.mean_factor)

@@ -1,0 +1,69 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import available_datasets, dataset_spec, load
+from repro.linkstream import mean_activity_per_node_per_day
+from repro.utils.errors import ValidationError
+from repro.utils.timeunits import DAY
+
+
+class TestRegistry:
+    def test_four_traces_registered(self):
+        assert available_datasets() == ["enron", "facebook", "irvine", "manufacturing"]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValidationError):
+            dataset_spec("twitter")
+        with pytest.raises(ValidationError):
+            load("twitter")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            load("irvine", scale="huge")
+
+    def test_published_statistics_recorded(self):
+        spec = dataset_spec("irvine")
+        assert spec.full.num_nodes == 1509
+        assert spec.full.num_events == 48000
+        assert spec.gamma_paper_hours == 18.0
+        assert spec.activity_paper == 0.66
+
+    def test_gamma_ordering_matches_paper(self):
+        """Paper Section 5: manufacturing < irvine < facebook < enron."""
+        gammas = {k: dataset_spec(k).gamma_paper_hours for k in available_datasets()}
+        assert (
+            gammas["manufacturing"]
+            < gammas["irvine"]
+            < gammas["facebook"]
+            < gammas["enron"]
+        )
+
+
+class TestReplicas:
+    @pytest.mark.parametrize("name", ["irvine", "facebook", "enron", "manufacturing"])
+    def test_paper_scale_preserves_per_capita_activity(self, name):
+        spec = dataset_spec(name)
+        stream = load(name, scale="paper", seed=0)
+        activity = mean_activity_per_node_per_day(stream)
+        assert activity == pytest.approx(spec.activity_paper, rel=0.15)
+
+    def test_deterministic(self):
+        assert load("enron", seed=1) == load("enron", seed=1)
+
+    def test_different_seeds_differ(self):
+        assert load("enron", seed=1) != load("enron", seed=2)
+
+    def test_paper_scale_sizes(self):
+        spec = dataset_spec("manufacturing")
+        stream = load("manufacturing", scale="paper", seed=0)
+        assert stream.num_nodes == spec.paper.num_nodes
+        assert stream.num_events == spec.paper.num_events
+        assert stream.span <= spec.paper.span_days * DAY
+
+    def test_replica_parameters_expose_both_scales(self):
+        spec = dataset_spec("facebook")
+        full = spec.replica_parameters("full")
+        paper = spec.replica_parameters("paper")
+        assert full.num_nodes == 3387
+        assert paper.num_nodes < full.num_nodes

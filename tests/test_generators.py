@@ -1,0 +1,131 @@
+"""Unit tests for the synthetic generators (Section 6 families + replica)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    ReplicaParameters,
+    circadian_replica,
+    time_uniform_stream,
+    two_mode_stream,
+    two_mode_stream_by_rho,
+)
+from repro.generators.uniform import expected_mean_intercontact
+from repro.linkstream import (
+    burstiness,
+    circadian_profile,
+    mean_inter_contact_time,
+    node_event_counts,
+    pair_event_counts,
+)
+from repro.utils.errors import ValidationError
+from repro.utils.timeunits import DAY
+
+
+class TestTimeUniform:
+    def test_exact_event_count(self):
+        stream = time_uniform_stream(10, 3, 1000.0, seed=0)
+        assert stream.num_events == 45 * 3
+        assert not stream.directed
+
+    def test_every_pair_covered(self):
+        stream = time_uniform_stream(6, 2, 1000.0, seed=0)
+        u, v, counts = pair_event_counts(stream)
+        assert u.size == 15
+        assert np.all(counts == 2)
+
+    def test_times_within_span(self):
+        stream = time_uniform_stream(5, 4, 500.0, t_start=100.0, seed=1)
+        assert stream.t_min >= 100.0
+        assert stream.t_max < 600.0
+
+    def test_mean_intercontact_matches_formula(self):
+        n, links, span = 20, 12, 50000.0
+        stream = time_uniform_stream(n, links, span, seed=2)
+        expected = expected_mean_intercontact(n, links, span)
+        assert mean_inter_contact_time(stream) == pytest.approx(expected, rel=0.1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            time_uniform_stream(1, 3, 100.0)
+        with pytest.raises(ValidationError):
+            time_uniform_stream(5, 0, 100.0)
+        with pytest.raises(ValidationError):
+            time_uniform_stream(5, 3, 0.0)
+
+    def test_deterministic_with_seed(self):
+        a = time_uniform_stream(8, 2, 1000.0, seed=7)
+        b = time_uniform_stream(8, 2, 1000.0, seed=7)
+        assert a == b
+
+
+class TestTwoMode:
+    def test_event_count(self):
+        stream = two_mode_stream(6, 4, 100.0, 1, 100.0, alternations=3, seed=0)
+        pairs = 15
+        assert stream.num_events == 3 * pairs * (4 + 1)
+
+    def test_activity_contrast_visible(self):
+        stream = two_mode_stream(6, 20, 100.0, 1, 100.0, alternations=4, seed=0)
+        # First half of each 200s cycle must hold ~20/21 of its events.
+        phase = np.mod(stream.timestamps, 200.0)
+        dense = float(np.mean(phase < 100.0))
+        assert dense > 0.9
+
+    def test_rho_zero_and_one_are_single_mode(self):
+        high_only = two_mode_stream_by_rho(6, 10, 1, 1000.0, 0.0, seed=0)
+        low_only = two_mode_stream_by_rho(6, 10, 1, 1000.0, 1.0, seed=0)
+        pairs = 15
+        assert high_only.num_events == 10 * pairs * 10
+        assert low_only.num_events == 1 * pairs * 10
+
+    def test_rho_validation(self):
+        with pytest.raises(ValidationError):
+            two_mode_stream_by_rho(6, 10, 1, 1000.0, 1.5)
+
+    def test_span_validation(self):
+        with pytest.raises(ValidationError):
+            two_mode_stream(6, 1, 0.0, 1, 0.0)
+
+
+class TestReplica:
+    @pytest.fixture(scope="class")
+    def replica(self):
+        params = ReplicaParameters(
+            num_nodes=80, num_events=4000, span=14 * DAY
+        )
+        return circadian_replica(params, seed=0)
+
+    def test_matches_requested_sizes(self, replica):
+        assert replica.num_nodes == 80
+        assert replica.num_events == 4000
+        assert replica.span <= 14 * DAY
+        assert replica.directed
+
+    def test_is_bursty(self, replica):
+        assert burstiness(replica) > 0.1
+
+    def test_has_circadian_rhythm(self, replica):
+        profile = circadian_profile(replica)
+        # Afternoon hours must dominate the night.
+        assert profile[12:18].sum() > 3 * profile[0:6].sum()
+
+    def test_activity_is_heavy_tailed(self, replica):
+        counts = np.sort(node_event_counts(replica))[::-1]
+        top_decile = counts[: len(counts) // 10].sum()
+        assert top_decile > 0.2 * counts.sum()
+
+    def test_no_self_loops(self, replica):
+        assert np.all(replica.sources != replica.targets)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            circadian_replica(ReplicaParameters(1, 100, 100.0))
+        with pytest.raises(ValidationError):
+            circadian_replica(ReplicaParameters(5, 1, 100.0))
+        with pytest.raises(ValidationError):
+            circadian_replica(ReplicaParameters(5, 100, 0.0))
+
+    def test_deterministic(self):
+        params = ReplicaParameters(num_nodes=20, num_events=200, span=2 * DAY)
+        assert circadian_replica(params, seed=3) == circadian_replica(params, seed=3)

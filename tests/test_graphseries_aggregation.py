@@ -1,0 +1,132 @@
+"""Unit tests for the aggregation engines (Definition 1 and variants)."""
+
+import numpy as np
+import pytest
+
+from repro.graphseries import (
+    aggregate,
+    aggregate_adaptive,
+    aggregate_cumulative,
+    aggregate_overlapping,
+    window_index,
+)
+from repro.linkstream import LinkStream
+from repro.utils.errors import AggregationError
+
+
+class TestWindowIndex:
+    def test_half_open_windows(self):
+        idx = window_index(np.array([0.0, 4.9, 5.0, 9.9, 10.0]), 5.0, 0.0)
+        assert idx.tolist() == [0, 0, 1, 1, 2]
+
+    def test_origin_shift(self):
+        idx = window_index(np.array([10.0, 14.0]), 5.0, 10.0)
+        assert idx.tolist() == [0, 0]
+
+    def test_bad_delta(self):
+        with pytest.raises(AggregationError):
+            window_index(np.array([0.0]), 0.0, 0.0)
+
+
+class TestDisjointAggregation:
+    def test_definition1(self, chain_stream):
+        # Events at 1, 3, 5; delta=2 starting at 1 -> windows [1,3) [3,5) [5,7).
+        series = aggregate(chain_stream, 2.0)
+        assert series.num_steps == 3
+        assert [s for s, __, __ in series.edge_groups()] == [0, 1, 2]
+
+    def test_deduplicates_within_window(self):
+        stream = LinkStream([0, 0, 0], [1, 1, 1], [0, 1, 2])
+        series = aggregate(stream, 10.0)
+        assert series.num_edges_total == 1
+
+    def test_keeps_pair_across_windows(self):
+        stream = LinkStream([0, 0], [1, 1], [0, 15])
+        series = aggregate(stream, 10.0)
+        assert series.num_edges_total == 2
+
+    def test_whole_span_gives_single_graph(self, figure1_stream):
+        series = aggregate(figure1_stream, figure1_stream.span + 1)
+        assert series.num_steps == 1
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(AggregationError):
+            aggregate(LinkStream([], [], []), 1.0)
+
+    def test_nonpositive_delta_rejected(self, chain_stream):
+        with pytest.raises(AggregationError):
+            aggregate(chain_stream, 0.0)
+
+    def test_origin_after_first_event_rejected(self, chain_stream):
+        with pytest.raises(AggregationError):
+            aggregate(chain_stream, 1.0, origin=2.0)
+
+    def test_undirected_stream_gives_undirected_series(self):
+        stream = LinkStream([1, 0], [0, 2], [0, 1], directed=False)
+        series = aggregate(stream, 10.0)
+        assert not series.directed
+        assert series.num_edges_total == 2
+
+    def test_directed_pairs_not_merged(self):
+        stream = LinkStream([0, 1], [1, 0], [0, 1], directed=True)
+        series = aggregate(stream, 10.0)
+        assert series.num_edges_total == 2
+
+    def test_geometry_recorded(self, chain_stream):
+        series = aggregate(chain_stream, 2.0)
+        assert series.delta == 2.0
+        assert series.origin == chain_stream.t_min
+
+
+class TestOverlappingAggregation:
+    def test_reduces_to_disjoint_when_stride_equals_delta(self, figure1_stream):
+        disjoint = aggregate(figure1_stream, 4.0)
+        overlapping = aggregate_overlapping(figure1_stream, 4.0, 4.0)
+        left = {(s, int(a), int(b)) for s, us, vs in disjoint.edge_groups() for a, b in zip(us, vs)}
+        right = {(s, int(a), int(b)) for s, us, vs in overlapping.edge_groups() for a, b in zip(us, vs)}
+        assert left == right
+
+    def test_event_lands_in_multiple_windows(self):
+        stream = LinkStream([0, 0], [1, 1], [0, 9])
+        series = aggregate_overlapping(stream, 4.0, 2.0)
+        # Event at t=9 (relative) is in windows starting at 6 and 8 -> k=3,4.
+        steps = sorted(s for s, __, __ in series.edge_groups())
+        assert steps == [0, 3, 4]
+
+    def test_stride_larger_than_window_rejected(self, chain_stream):
+        with pytest.raises(AggregationError):
+            aggregate_overlapping(chain_stream, 2.0, 3.0)
+
+
+class TestCumulativeAggregation:
+    def test_snapshots_grow(self, figure1_stream):
+        series = aggregate_cumulative(figure1_stream, 4.0)
+        sizes = [s.num_edges for s in series.snapshots()]
+        assert sizes == sorted(sizes)
+
+    def test_last_snapshot_is_total_aggregate(self, figure1_stream):
+        series = aggregate_cumulative(figure1_stream, 4.0)
+        total = aggregate(figure1_stream, figure1_stream.span + 1)
+        assert series.snapshot(series.num_steps - 1).num_edges == total.num_edges_total
+
+
+class TestAdaptiveAggregation:
+    def test_boundaries_cover_span(self, medium_stream):
+        series, boundaries = aggregate_adaptive(medium_stream)
+        assert boundaries[0] == medium_stream.t_min
+        assert boundaries[-1] > medium_stream.t_max
+        assert series.num_steps == boundaries.size - 1
+
+    def test_bad_tolerance_rejected(self, medium_stream):
+        with pytest.raises(AggregationError):
+            aggregate_adaptive(medium_stream, growth_tolerance=1.5)
+
+    def test_produces_multiple_windows_on_bursty_stream(self):
+        rng = np.random.default_rng(0)
+        # Two dense bursts separated by silence.
+        t = np.concatenate([rng.integers(0, 100, 200), rng.integers(5000, 5100, 200)])
+        u = rng.integers(0, 10, 400)
+        v = (u + 1 + rng.integers(0, 9, 400)) % 10
+        stream = LinkStream(u, v, t, num_nodes=10)
+        series, boundaries = aggregate_adaptive(stream, probe=50.0)
+        assert series.num_steps >= 2

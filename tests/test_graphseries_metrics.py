@@ -1,0 +1,47 @@
+"""Unit tests for series-level graph metrics."""
+
+import pytest
+
+from repro.graphseries import GraphSeries, aggregate, series_metrics
+from repro.linkstream import LinkStream
+
+
+class TestSeriesMetrics:
+    def test_means_over_nonempty_snapshots(self):
+        # Step 0: one edge; step 2: two edges; step 1 empty.
+        series = GraphSeries(4, 3, [0, 2, 2], [0, 1, 2], [1, 2, 3], directed=True)
+        metrics = series_metrics(series)
+        assert metrics.num_nonempty_steps == 2
+        assert metrics.mean_edges == pytest.approx(1.5)
+        assert metrics.mean_density == pytest.approx((1 / 12 + 2 / 12) / 2)
+        assert metrics.mean_non_isolated == pytest.approx((2 + 3) / 2)
+        assert metrics.mean_largest_component == pytest.approx((2 + 3) / 2)
+
+    def test_empty_series(self):
+        series = GraphSeries(3, 2, [], [], [])
+        metrics = series_metrics(series)
+        assert metrics.num_nonempty_steps == 0
+        assert metrics.mean_density == 0.0
+
+    def test_single_total_aggregate_matches_static_density(self, figure1_stream):
+        series = aggregate(figure1_stream, figure1_stream.span + 1)
+        metrics = series_metrics(series)
+        snap = series.snapshot(0)
+        assert metrics.mean_density == pytest.approx(snap.density())
+
+    def test_density_grows_with_delta(self, medium_stream):
+        small = series_metrics(aggregate(medium_stream, 10.0)).mean_density
+        large = series_metrics(aggregate(medium_stream, 1000.0)).mean_density
+        assert large > small
+
+    def test_as_dict_roundtrip(self, medium_stream):
+        metrics = series_metrics(aggregate(medium_stream, 100.0))
+        data = metrics.as_dict()
+        assert data["num_steps"] == metrics.num_steps
+        assert data["mean_density"] == metrics.mean_density
+
+    def test_mean_degree_relation(self):
+        # mean_degree = 2 * mean_edges / n regardless of direction.
+        series = GraphSeries(4, 1, [0, 0], [0, 1], [1, 2], directed=True)
+        metrics = series_metrics(series)
+        assert metrics.mean_degree == pytest.approx(2 * 2 / 4)

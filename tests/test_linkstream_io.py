@@ -1,0 +1,91 @@
+"""Unit tests for link-stream readers/writers."""
+
+import pytest
+
+from repro.linkstream import (
+    LinkStream,
+    read_csv,
+    read_jsonl,
+    read_tsv,
+    write_csv,
+    write_jsonl,
+    write_tsv,
+)
+from repro.utils.errors import LinkStreamError
+
+
+@pytest.fixture
+def sample() -> LinkStream:
+    return LinkStream.from_triples(
+        [("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 5.0)]
+    )
+
+
+class TestRoundTrips:
+    def test_tsv_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "events.tsv"
+        write_tsv(sample, path)
+        back = read_tsv(path)
+        assert [e for e in back.events()] == [e for e in sample.events()]
+
+    def test_csv_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "events.csv"
+        write_csv(sample, path)
+        back = read_csv(path)
+        assert back.num_events == sample.num_events
+
+    def test_jsonl_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(sample, path)
+        back = read_jsonl(path)
+        assert [e for e in back.events()] == [e for e in sample.events()]
+
+    def test_column_order_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "tuv.tsv"
+        write_tsv(sample, path, columns="t u v")
+        back = read_tsv(path, columns="t u v")
+        assert [e for e in back.events()] == [e for e in sample.events()]
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text("% konect header\n# comment\n\na b 1\nb c 2\n")
+        stream = read_tsv(path)
+        assert stream.num_events == 2
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text("a b 1 weight=3\n")
+        stream = read_tsv(path)
+        assert stream.num_events == 1
+
+    def test_bad_timestamp_reports_line(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text("a b not-a-number\n")
+        with pytest.raises(LinkStreamError, match=":1"):
+            read_tsv(path)
+
+    def test_too_few_fields_rejected(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text("a b\n")
+        with pytest.raises(LinkStreamError):
+            read_tsv(path)
+
+    def test_bad_columns_spec_rejected(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text("a b 1\n")
+        with pytest.raises(LinkStreamError):
+            read_tsv(path, columns="u v w")
+
+    def test_jsonl_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"u": "a", "t": 1}\n')
+        with pytest.raises(LinkStreamError):
+            read_jsonl(path)
+
+    def test_directed_flag_respected(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text("b a 1\n")
+        stream = read_tsv(path, directed=False)
+        assert not stream.directed

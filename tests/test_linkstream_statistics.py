@@ -1,0 +1,126 @@
+"""Unit tests for stream statistics."""
+
+import numpy as np
+import pytest
+
+from repro.linkstream import (
+    LinkStream,
+    activity_profile,
+    burstiness,
+    circadian_profile,
+    inter_contact_times,
+    mean_activity_per_node_per_day,
+    mean_inter_contact_time,
+    node_event_counts,
+    pair_event_counts,
+    stream_summary,
+)
+from repro.utils.errors import LinkStreamError
+from repro.utils.timeunits import DAY, HOUR
+
+
+class TestNodeCounts:
+    def test_counts_both_endpoints(self):
+        stream = LinkStream([0, 0], [1, 2], [0, 1])
+        assert node_event_counts(stream).tolist() == [2, 1, 1]
+
+    def test_isolated_nodes_count_zero(self):
+        stream = LinkStream([0], [1], [0], num_nodes=4)
+        assert node_event_counts(stream).tolist() == [1, 1, 0, 0]
+
+
+class TestPairCounts:
+    def test_multiplicities(self):
+        stream = LinkStream([0, 0, 1], [1, 1, 0], [0, 1, 2])
+        u, v, c = pair_event_counts(stream)
+        pairs = dict(zip(zip(u.tolist(), v.tolist()), c.tolist()))
+        assert pairs == {(0, 1): 2, (1, 0): 1}
+
+    def test_undirected_pairs_canonical(self):
+        stream = LinkStream([1, 0], [0, 1], [0, 1], directed=False)
+        u, v, c = pair_event_counts(stream)
+        assert u.tolist() == [0] and v.tolist() == [1] and c.tolist() == [2]
+
+    def test_empty(self):
+        u, v, c = pair_event_counts(LinkStream([], [], []))
+        assert u.size == 0
+
+
+class TestInterContact:
+    def test_gaps_per_node(self):
+        # Node 1 participates at times 0, 4, 10 -> gaps 4, 6.
+        stream = LinkStream([0, 1, 2], [1, 2, 1], [0, 4, 10])
+        gaps = sorted(inter_contact_times(stream).tolist())
+        # node0: [0] no gap; node1: 0,4,10 -> 4,6; node2: 4,10 -> 6
+        assert gaps == [4, 6, 6]
+
+    def test_mean(self):
+        stream = LinkStream([0, 1, 2], [1, 2, 1], [0, 4, 10])
+        assert mean_inter_contact_time(stream) == pytest.approx((4 + 6 + 6) / 3)
+
+    def test_needs_repeat_contact(self):
+        stream = LinkStream([0], [1], [0])
+        with pytest.raises(LinkStreamError):
+            mean_inter_contact_time(stream)
+
+
+class TestActivity:
+    def test_per_node_per_day(self):
+        # 10 events, 5 nodes, spanning exactly 2 days -> 1 event/node/day.
+        times = np.linspace(0, 2 * DAY, 10)
+        stream = LinkStream([0] * 10, [1, 2, 3, 4] * 2 + [1, 2], times, num_nodes=5)
+        assert mean_activity_per_node_per_day(stream) == pytest.approx(1.0)
+
+    def test_profile_bins(self):
+        stream = LinkStream([0, 0, 0], [1, 1, 1], [0, 5, 10])
+        starts, counts = activity_profile(stream, 5.0)
+        assert counts.tolist() == [1, 1, 1]
+        assert starts.tolist() == [0, 5, 10]
+
+    def test_profile_bad_width(self, chain_stream):
+        with pytest.raises(LinkStreamError):
+            activity_profile(chain_stream, 0)
+
+    def test_circadian_profile_sums_to_one(self):
+        times = np.arange(0, 3 * DAY, HOUR)
+        stream = LinkStream([0] * times.size, [1] * times.size, times)
+        profile = circadian_profile(stream)
+        assert profile.sum() == pytest.approx(1.0)
+        assert profile.size == 24
+
+    def test_circadian_profile_flags_day_concentration(self):
+        # All events at hour 14 of each day.
+        times = 14 * HOUR + DAY * np.arange(10)
+        stream = LinkStream([0] * 10, [1] * 10, times)
+        profile = circadian_profile(stream)
+        assert profile[14] == pytest.approx(1.0)
+
+
+class TestBurstiness:
+    def test_poisson_is_near_zero(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(10.0, size=4000))
+        stream = LinkStream([0] * 4000, [1] * 4000, times)
+        assert abs(burstiness(stream)) < 0.1
+
+    def test_regular_is_negative(self):
+        times = np.arange(100) * 10.0
+        stream = LinkStream([0] * 100, [1] * 100, times)
+        assert burstiness(stream) < -0.5
+
+    def test_bursty_is_positive(self):
+        rng = np.random.default_rng(1)
+        gaps = rng.pareto(1.2, size=4000) + 0.01
+        times = np.cumsum(gaps)
+        stream = LinkStream([0] * 4000, [1] * 4000, times)
+        assert burstiness(stream) > 0.3
+
+
+class TestSummary:
+    def test_fields(self, medium_stream):
+        summary = stream_summary(medium_stream)
+        assert summary.num_nodes == medium_stream.num_nodes
+        assert summary.num_events == medium_stream.num_events
+        assert summary.span_seconds == medium_stream.span
+        assert summary.distinct_pairs > 0
+        assert summary.as_dict()["num_events"] == medium_stream.num_events

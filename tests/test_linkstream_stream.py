@@ -1,0 +1,173 @@
+"""Unit tests for the LinkStream container."""
+
+import numpy as np
+import pytest
+
+from repro.linkstream import LinkStream
+from repro.utils.errors import LinkStreamError
+
+
+class TestConstruction:
+    def test_events_sorted_by_time(self):
+        stream = LinkStream([2, 0, 1], [0, 1, 2], [30, 10, 20])
+        assert stream.timestamps.tolist() == [10, 20, 30]
+        assert stream.sources.tolist() == [0, 1, 2]
+
+    def test_from_triples_maps_labels(self):
+        stream = LinkStream.from_triples([("x", "y", 5), ("y", "z", 2)])
+        assert stream.num_nodes == 3
+        assert set(stream.labels) == {"x", "y", "z"}
+        assert list(stream.events())[0] == ("y", "z", 2)
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0], [0], [1])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([-1], [0], [1])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0, 1], [1], [1, 2])
+
+    def test_non_numeric_timestamps_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0], [1], np.array(["a"]))
+
+    def test_nan_timestamps_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0], [1], [float("nan")])
+
+    def test_num_nodes_may_exceed_max_index(self):
+        stream = LinkStream([0], [1], [0], num_nodes=10)
+        assert stream.num_nodes == 10
+
+    def test_num_nodes_below_max_index_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0], [5], [0], num_nodes=3)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0], [1], [0], labels=["a", "a"])
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(LinkStreamError):
+            LinkStream([0], [1], [0], labels=["a", "b", "c"])
+
+    def test_undirected_canonicalizes_pairs(self):
+        stream = LinkStream([3, 1], [1, 3], [0, 5], directed=False)
+        assert stream.sources.tolist() == [1, 1]
+        assert stream.targets.tolist() == [3, 3]
+
+    def test_empty_stream_allowed(self):
+        stream = LinkStream([], [], [])
+        assert stream.num_events == 0
+        assert stream.num_nodes == 0
+
+    def test_float_timestamps_preserved(self):
+        stream = LinkStream([0], [1], [1.5])
+        assert stream.timestamps.dtype == np.float64
+
+    def test_integer_timestamps_preserved(self):
+        stream = LinkStream([0], [1], [2])
+        assert stream.timestamps.dtype == np.int64
+
+
+class TestAccessors:
+    def test_span_and_extremes(self, chain_stream):
+        assert chain_stream.t_min == 1
+        assert chain_stream.t_max == 5
+        assert chain_stream.span == 4
+
+    def test_empty_stream_has_no_t_min(self):
+        with pytest.raises(LinkStreamError):
+            __ = LinkStream([], [], []).t_min
+
+    def test_len_counts_events(self, chain_stream):
+        assert len(chain_stream) == 3
+
+    def test_arrays_are_read_only(self, chain_stream):
+        with pytest.raises(ValueError):
+            chain_stream.timestamps[0] = 99
+
+    def test_label_roundtrip(self):
+        stream = LinkStream([0], [1], [0], labels=["alice", "bob"])
+        assert stream.label_of(0) == "alice"
+        assert stream.index_of("bob") == 1
+
+    def test_unknown_label_raises(self):
+        stream = LinkStream([0], [1], [0], labels=["alice", "bob"])
+        with pytest.raises(LinkStreamError):
+            stream.index_of("carol")
+
+    def test_identity_labels_by_default(self, chain_stream):
+        assert chain_stream.labels == [0, 1, 2, 3]
+        assert chain_stream.index_of(2) == 2
+
+    def test_equality(self, chain_stream):
+        clone = chain_stream.copy()
+        assert clone == chain_stream
+        other = LinkStream([0, 1, 2], [1, 2, 3], [1, 3, 6], directed=True)
+        assert other != chain_stream
+
+    def test_repr_mentions_counts(self, chain_stream):
+        text = repr(chain_stream)
+        assert "4 nodes" in text and "3 events" in text
+
+
+class TestTimeStructure:
+    def test_distinct_timestamps(self):
+        stream = LinkStream([0, 1, 0], [1, 2, 2], [5, 5, 9])
+        assert stream.distinct_timestamps().tolist() == [5, 9]
+
+    def test_resolution_is_min_gap(self):
+        stream = LinkStream([0, 1, 0], [1, 2, 2], [0, 10, 13])
+        assert stream.resolution() == 3
+
+    def test_resolution_needs_two_timestamps(self):
+        stream = LinkStream([0, 1], [1, 2], [7, 7])
+        with pytest.raises(LinkStreamError):
+            stream.resolution()
+
+
+class TestDerivedStreams:
+    def test_restrict_time_half_open(self, chain_stream):
+        sub = chain_stream.restrict_time(1, 5)
+        assert sub.timestamps.tolist() == [1, 3]
+        assert sub.num_nodes == chain_stream.num_nodes
+
+    def test_restrict_time_closed(self, chain_stream):
+        sub = chain_stream.restrict_time(1, 5, half_open=False)
+        assert sub.timestamps.tolist() == [1, 3, 5]
+
+    def test_restrict_nodes_reindexes(self):
+        stream = LinkStream.from_triples(
+            [("a", "b", 0), ("b", "c", 1), ("c", "d", 2)]
+        )
+        sub = stream.restrict_nodes(["a", "b", "c"])
+        assert sub.num_nodes == 3
+        assert sub.num_events == 2
+        assert [e[:2] for e in sub.events()] == [("a", "b"), ("b", "c")]
+
+    def test_to_undirected_is_idempotent(self, chain_stream):
+        und = chain_stream.to_undirected()
+        assert not und.directed
+        assert und.to_undirected() is und
+
+    def test_shift_time(self, chain_stream):
+        shifted = chain_stream.shift_time(100)
+        assert shifted.timestamps.tolist() == [101, 103, 105]
+
+    def test_scale_time(self, chain_stream):
+        scaled = chain_stream.scale_time(2.0)
+        assert scaled.timestamps.tolist() == [2, 6, 10]
+
+    def test_scale_time_rejects_nonpositive(self, chain_stream):
+        with pytest.raises(LinkStreamError):
+            chain_stream.scale_time(0)
+
+    def test_copy_is_equal_not_identical(self, chain_stream):
+        clone = chain_stream.copy()
+        assert clone == chain_stream
+        assert clone is not chain_stream

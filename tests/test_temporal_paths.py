@@ -1,0 +1,125 @@
+"""Unit and property tests for forward scans and path reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphseries import aggregate
+from repro.linkstream import LinkStream
+from repro.temporal import (
+    TripListCollector,
+    earliest_arrival_path,
+    forward_earliest_arrival,
+    scan_series,
+    temporal_path_is_valid,
+)
+from repro.utils.errors import ValidationError
+from tests.strategies import link_streams
+
+
+class TestForwardScan:
+    def test_chain(self, chain_stream):
+        series = aggregate(chain_stream, 1.0)
+        arrival, hops = forward_earliest_arrival(series, 0, 0)
+        assert arrival.tolist() == [np.inf, 0, 2, 4]
+        assert hops[1:].tolist() == [1, 2, 3]
+
+    def test_departure_time_filters(self, chain_stream):
+        series = aggregate(chain_stream, 1.0)
+        arrival, __ = forward_earliest_arrival(series, 0, 1)
+        # The 0->1 edge at step 0 is no longer usable.
+        assert np.isinf(arrival[1])
+
+    def test_cycle_return(self):
+        stream = LinkStream([0, 1], [1, 0], [1, 2], directed=True)
+        series = aggregate(stream, 1.0)
+        arrival, hops = forward_earliest_arrival(series, 0, 0)
+        assert arrival[0] == 1  # returns to itself via the cycle
+        assert hops[0] == 2
+
+    def test_on_stream_directly(self, chain_stream):
+        arrival, hops = forward_earliest_arrival(chain_stream, 0, 0)
+        assert arrival.tolist() == [np.inf, 1, 3, 5]
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValidationError):
+            forward_earliest_arrival([1, 2, 3], 0, 0)
+
+
+class TestPathReconstruction:
+    def test_chain_path(self, chain_stream):
+        series = aggregate(chain_stream, 1.0)
+        path = earliest_arrival_path(series, 0, 3, 0)
+        assert path == [(0, 1, 0), (1, 2, 2), (2, 3, 4)]
+        assert temporal_path_is_valid(series, path)
+
+    def test_unreachable_returns_none(self, chain_stream):
+        series = aggregate(chain_stream, 1.0)
+        assert earliest_arrival_path(series, 3, 0, 0) is None
+
+    def test_same_node_rejected(self, chain_stream):
+        series = aggregate(chain_stream, 1.0)
+        with pytest.raises(ValidationError):
+            earliest_arrival_path(series, 1, 1, 0)
+
+    def test_path_on_stream(self, chain_stream):
+        path = earliest_arrival_path(chain_stream, 0, 2, 0)
+        assert path == [(0, 1, 1), (1, 2, 3)]
+        assert temporal_path_is_valid(chain_stream, path)
+
+
+class TestParetoStates:
+    def test_later_fewer_hop_relay_regression(self):
+        """Regression: the min-hop path realizing a minimal trip may relay
+        through a node's *later, fewer-hop* state.  Here node 3 is first
+        reached in 3 hops at t=2 but also in 2 hops at t=3; the earliest
+        path 0 -> 2 (arriving t=4) must use the latter: 3 hops, not 4.
+        (Found by hypothesis; a single earliest-arrival state per node
+        gets this wrong.)
+        """
+        stream = LinkStream(
+            [0, 1, 3, 1, 2], [1, 4, 4, 3, 3], [0, 1, 2, 3, 4],
+            directed=False, num_nodes=5,
+        )
+        arrival, hops = forward_earliest_arrival(stream, 0, 0)
+        assert arrival[2] == 4
+        assert hops[2] == 3
+        path = earliest_arrival_path(stream, 0, 2, 0)
+        assert temporal_path_is_valid(stream, path)
+        assert len(path) == 3
+        assert path[-1][2] == 4
+
+
+class TestPathValidity:
+    def test_rejects_time_violation(self, chain_stream):
+        assert not temporal_path_is_valid(chain_stream, [(0, 1, 3), (1, 2, 3)])
+
+    def test_rejects_broken_chain(self, chain_stream):
+        assert not temporal_path_is_valid(chain_stream, [(0, 1, 1), (2, 3, 5)])
+
+    def test_rejects_missing_edge(self, chain_stream):
+        assert not temporal_path_is_valid(chain_stream, [(0, 3, 1)])
+
+    def test_rejects_empty(self, chain_stream):
+        assert not temporal_path_is_valid(chain_stream, [])
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=link_streams(), delta=st.sampled_from([1.0, 2.0]))
+def test_reconstructed_paths_realize_minimal_trips(stream, delta):
+    """For every minimal trip, reconstruction yields a valid temporal path
+    departing and arriving exactly at the trip's bounds with the trip's
+    hop count."""
+    series = aggregate(stream, delta)
+    collector = TripListCollector()
+    scan_series(series, collector)
+    trips = collector.trips()
+    for u, v, dep, arr, hops in trips.as_tuples()[:40]:
+        path = earliest_arrival_path(series, u, v, dep)
+        assert path is not None
+        assert temporal_path_is_valid(series, path)
+        assert path[0][0] == u and path[-1][1] == v
+        assert path[0][2] == dep, "minimal trips depart exactly at dep"
+        assert path[-1][2] == arr
+        assert len(path) == hops

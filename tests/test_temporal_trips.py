@@ -1,0 +1,101 @@
+"""Unit tests for TripSet and PairTripIndex."""
+
+import numpy as np
+import pytest
+
+from repro.temporal import PairTripIndex, TripSet, check_pareto
+from repro.utils.errors import ValidationError
+
+
+def make_tripset(rows):
+    """rows: list of (u, v, dep, arr, hops); durations = arr - dep."""
+    if rows:
+        u, v, dep, arr, hops = (np.asarray(c) for c in zip(*rows))
+    else:
+        u = v = hops = np.empty(0, dtype=np.int64)
+        dep = arr = np.empty(0)
+    return TripSet(u, v, np.asarray(dep, dtype=float), np.asarray(arr, dtype=float),
+                   np.asarray(hops, dtype=np.int64), np.asarray(arr, dtype=float) - np.asarray(dep, dtype=float))
+
+
+class TestTripSet:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            TripSet(
+                np.array([0]), np.array([1]), np.array([0.0]),
+                np.array([1.0]), np.array([1, 2]), np.array([1.0]),
+            )
+
+    def test_occupancy_rejects_zero_duration(self):
+        trips = make_tripset([(0, 1, 5.0, 5.0, 1)])
+        with pytest.raises(ValidationError):
+            trips.occupancy_rates()
+
+    def test_select(self):
+        trips = make_tripset([(0, 1, 0.0, 2.0, 1), (1, 2, 1.0, 4.0, 2)])
+        sub = trips.select(trips.hops == 2)
+        assert len(sub) == 1
+        assert sub.as_tuples() == [(1, 2, 1.0, 4.0, 2)]
+
+    def test_as_tuples(self):
+        trips = make_tripset([(3, 4, 1.0, 2.0, 1)])
+        assert trips.as_tuples() == [(3, 4, 1.0, 2.0, 1)]
+
+
+class TestPareto:
+    def test_valid_staircase(self):
+        trips = make_tripset([(0, 1, 0.0, 2.0, 1), (0, 1, 1.0, 3.0, 1)])
+        assert check_pareto(trips)
+
+    def test_contained_interval_fails(self):
+        trips = make_tripset([(0, 1, 0.0, 5.0, 1), (0, 1, 1.0, 3.0, 1)])
+        assert not check_pareto(trips)
+
+    def test_different_pairs_independent(self):
+        trips = make_tripset([(0, 1, 0.0, 5.0, 1), (0, 2, 1.0, 3.0, 1)])
+        assert check_pareto(trips)
+
+    def test_empty_ok(self):
+        assert check_pareto(make_tripset([]))
+
+
+class TestPairTripIndex:
+    @pytest.fixture
+    def index(self):
+        trips = make_tripset(
+            [
+                (0, 1, 0.0, 10.0, 2),
+                (0, 1, 5.0, 18.0, 2),
+                (0, 1, 12.0, 20.0, 2),
+                (2, 3, 1.0, 2.0, 1),
+            ]
+        )
+        return PairTripIndex(trips, num_nodes=4)
+
+    def test_pair_slice(self, index):
+        dep, arr = index.pair_slice(0, 1)
+        assert dep.tolist() == [0.0, 5.0, 12.0]
+        assert arr.tolist() == [10.0, 18.0, 20.0]
+
+    def test_missing_pair(self, index):
+        dep, arr = index.pair_slice(1, 0)
+        assert dep.size == 0
+        assert index.min_duration_in_window(1, 0, 0, 100) is None
+
+    def test_window_query_inclusive(self, index):
+        # Window [0, 10] only fits the first trip (duration 10).
+        assert index.min_duration_in_window(0, 1, 0, 10) == 10.0
+
+    def test_window_query_picks_minimum(self, index):
+        # [0, 20] fits durations 10, 13, 8 -> 8.
+        assert index.min_duration_in_window(0, 1, 0, 20) == 8.0
+
+    def test_window_query_empty_when_nothing_fits(self, index):
+        assert index.min_duration_in_window(0, 1, 13, 19) is None
+
+    def test_window_departure_bound(self, index):
+        # Departures >= 1 excludes the first trip.
+        assert index.min_duration_in_window(0, 1, 1, 20) == 8.0
+
+    def test_num_trips(self, index):
+        assert index.num_trips == 4

@@ -1,0 +1,66 @@
+"""Unit tests for utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    DAY,
+    HOUR,
+    MINUTE,
+    ensure_rng,
+    format_duration,
+    parse_duration,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestParseDuration:
+    def test_units(self):
+        assert parse_duration("18h") == 18 * HOUR
+        assert parse_duration("2 days") == 2 * DAY
+        assert parse_duration("90 min") == 90 * MINUTE
+        assert parse_duration("30s") == 30.0
+        assert parse_duration("1.5w") == 1.5 * 7 * DAY
+
+    def test_bare_numbers_are_seconds(self):
+        assert parse_duration(90) == 90.0
+        assert parse_duration("42") == 42.0
+        assert parse_duration(1.5) == 1.5
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            parse_duration("fast")
+        with pytest.raises(ValidationError):
+            parse_duration("10 fortnights")
+
+
+class TestFormatDuration:
+    def test_picks_readable_unit(self):
+        assert format_duration(18 * HOUR) == "18h"
+        assert format_duration(2 * DAY) == "2d"
+        assert format_duration(90) == "1.5min"
+        assert format_duration(5) == "5s"
+
+    def test_negative(self):
+        assert format_duration(-HOUR) == "-1h"
+
+    def test_roundtrip(self):
+        for seconds in (5.0, 90.0, 3600.0, 64800.0, 2 * DAY):
+            assert parse_duration(format_duration(seconds)) == pytest.approx(
+                seconds, rel=0.01
+            )
+
+
+class TestEnsureRng:
+    def test_accepts_none_int_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+        assert isinstance(ensure_rng(42), np.random.Generator)
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_rejects_junk(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("seed")
