@@ -1,0 +1,73 @@
+"""Ablation — sweep-execution backends and the result cache.
+
+The occupancy sweep is embarrassingly parallel across Δ, so the engine
+offers thread- and process-pool backends next to the serial reference,
+plus a content-addressed cache that turns repeated sweeps into lookups.
+This bench measures all of it on the paper-scale Irvine replica:
+
+* serial vs thread vs process wall time for one cold sweep;
+* cold- vs warm-cache wall time (the warm sweep recomputes nothing).
+
+Whatever the timings, every backend must return the exact same γ and
+per-Δ scores — that assertion is the real regression guard.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from _harness import emit
+
+from repro.core import log_delta_grid, occupancy_method
+from repro.engine import SweepCache, SweepEngine
+from repro.reporting import render_table
+
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def _timed_sweep(stream, deltas, engine):
+    start = perf_counter()
+    result = occupancy_method(stream, deltas=deltas, engine=engine)
+    return result, perf_counter() - start
+
+
+def test_engine_backend_comparison(benchmark, capsys, irvine_stream):
+    deltas = log_delta_grid(irvine_stream, num=16)
+
+    def compare():
+        rows = []
+        results = {}
+        for spec in ("serial", f"thread:{JOBS}", f"process:{JOBS}"):
+            with SweepEngine(spec, cache=None) as engine:
+                result, elapsed = _timed_sweep(irvine_stream, deltas, engine)
+            results[spec] = result
+            rows.append([f"{spec} (cold, no cache)", elapsed, result.gamma])
+
+        cached = SweepEngine("serial", cache=SweepCache.build())
+        cold, cold_time = _timed_sweep(irvine_stream, deltas, cached)
+        warm, warm_time = _timed_sweep(irvine_stream, deltas, cached)
+        results["cache-warm"] = warm
+        rows.append(["serial + cache (cold)", cold_time, cold.gamma])
+        rows.append(["serial + cache (warm)", warm_time, warm.gamma])
+        return rows, results, (cold_time, warm_time)
+
+    rows, results, (cold_time, warm_time) = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    table = render_table(
+        ["configuration", "wall_seconds", "gamma_s"],
+        rows,
+        title=f"Ablation — engine backends ({len(deltas)} deltas, jobs={JOBS})",
+    )
+    emit(capsys, "ablation_engine_backends", table)
+
+    # Bit-identical results whatever the execution strategy or cache state.
+    reference = results["serial"]
+    for result in results.values():
+        assert result.gamma == reference.gamma
+        assert [p.scores for p in result.points] == [
+            p.scores for p in reference.points
+        ]
+    # The warm sweep recomputes nothing; it must be far faster than cold.
+    assert warm_time < cold_time

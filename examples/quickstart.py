@@ -24,6 +24,14 @@ def main() -> None:
     # One call: sweep aggregation periods from the timestamp resolution
     # to the full span, score every occupancy distribution against the
     # uniform density, return the maximum.
+    #
+    # Each Δ is independent, so the sweep runs through repro.engine: pass
+    # engine="thread" or engine="process" (or set REPRO_ENGINE, or use
+    # `repro analyze --backend process --jobs 8` on the CLI) to evaluate
+    # periods in parallel — results are bit-identical to the serial
+    # default.  Sweep points are cached by stream content, so repeating
+    # this call (refinement rounds, stability re-runs) is free;
+    # REPRO_CACHE_DIR / --cache-dir makes the cache survive restarts.
     result = occupancy_method(stream, num_deltas=24)
     print(result.describe())
     print()

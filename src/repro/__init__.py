@@ -28,6 +28,28 @@ Packages
     Related-work aggregation-scale selectors for comparison.
 ``repro.reporting``
     Plain-text tables and ASCII charts used by the bench harness.
+``repro.engine``
+    Sweep-execution engine: task planning, pluggable backends, caching.
+
+Engine & caching
+----------------
+Every Δ sweep (the occupancy method, classical sweeps, stability and
+per-period analyses) runs through :mod:`repro.engine`: the grid becomes
+a plan of independent per-Δ tasks dispatched by a pluggable backend —
+serial (the default, bit-identical to a plain loop), a thread pool, or a
+chunked process pool — behind a content-addressed result cache keyed on
+the stream fingerprint plus the task parameters.  Re-running a sweep,
+refining a grid, or re-analyzing the same stream never recomputes a
+sweep point; with a disk cache the reuse survives across processes.
+
+Select the backend per call (``occupancy_method(stream,
+engine="process")``), via a configured engine (``SweepEngine("thread",
+jobs=8)``), process-wide through the ``REPRO_ENGINE`` environment
+variable (``serial``, ``thread``, ``process``, or ``thread:8``), or on
+the command line (``repro analyze --backend process --jobs 8
+--cache-dir ~/.cache/repro``).  ``REPRO_CACHE_DIR`` adds a persistent
+on-disk store to the default engine.  All backends and cache states
+return bit-identical γ and per-Δ scores.
 """
 
 from repro.core import (
@@ -39,10 +61,11 @@ from repro.core import (
     occupancy_method,
     transition_loss_curve,
 )
+from repro.engine import SweepCache, SweepEngine
 from repro.graphseries import GraphSeries, Snapshot, aggregate
 from repro.linkstream import IntervalStream, LinkStream
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LinkStream",
@@ -57,5 +80,7 @@ __all__ = [
     "classical_sweep",
     "transition_loss_curve",
     "elongation_curve",
+    "SweepEngine",
+    "SweepCache",
     "__version__",
 ]

@@ -17,11 +17,20 @@ otherwise.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
 from repro.core import analyze_stream
 from repro.datasets import available_datasets, dataset_spec, load
+from repro.engine import (
+    CACHE_DIR_ENV_VAR,
+    ENGINE_ENV_VAR,
+    StderrProgress,
+    SweepCache,
+    SweepEngine,
+    available_backends,
+)
 from repro.generators import time_uniform_stream, two_mode_stream_by_rho
 from repro.graphseries import aggregate as aggregate_stream
 from repro.linkstream import read_csv, read_tsv, write_tsv
@@ -35,15 +44,30 @@ def _read_stream(path: str, columns: str, directed: bool, fmt: str) -> LinkStrea
     return reader(path, columns=columns, directed=directed)
 
 
+def _build_engine(args: argparse.Namespace) -> SweepEngine:
+    """Sweep engine from the ``analyze`` flags (falling back to the
+    ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` environment defaults)."""
+    backend = args.backend or os.environ.get(ENGINE_ENV_VAR) or "serial"
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV_VAR) or None
+    return SweepEngine(
+        backend,
+        jobs=args.jobs,
+        cache=SweepCache.build(disk_dir=cache_dir),
+        progress=StderrProgress() if args.progress else None,
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     stream = _read_stream(args.events, args.columns, not args.undirected, args.format)
-    report = analyze_stream(
-        stream,
-        validate=args.validate,
-        num_deltas=args.num_deltas,
-        method=args.method,
-        refine_rounds=args.refine,
-    )
+    with _build_engine(args) as engine:
+        report = analyze_stream(
+            stream,
+            validate=args.validate,
+            num_deltas=args.num_deltas,
+            method=args.method,
+            refine_rounds=args.refine,
+            engine=engine,
+        )
     print(report.to_text())
     print()
     print("delta        mk_proximity  trips")
@@ -127,6 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--method", default="mk", help="selection statistic (mk/std/cre/shannonK)")
     analyze.add_argument("--refine", type=int, default=0, help="refinement rounds")
     analyze.add_argument("--validate", action="store_true", help="also run Section 8 loss measures")
+    analyze.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help=f"sweep execution backend (default: ${ENGINE_ENV_VAR} or 'serial')",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker threads/processes for --backend thread/process "
+        "(default: the CPU count)",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist per-delta sweep results under this directory so warm "
+        f"re-runs skip all recomputation (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    analyze.add_argument(
+        "--progress", action="store_true", help="print sweep progress to stderr"
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     agg = sub.add_parser("aggregate", help="aggregate an event file into a graph series")

@@ -13,10 +13,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graphseries.aggregation import aggregate
-from repro.graphseries.metrics import SeriesMetrics, series_metrics
+from repro.engine import engine_scope, plan_classical_sweep
+from repro.graphseries.metrics import SeriesMetrics
 from repro.linkstream.stream import LinkStream
-from repro.temporal.reachability import DistanceStats, scan_series
+from repro.temporal.reachability import DistanceStats
 
 
 @dataclass(frozen=True)
@@ -81,18 +81,17 @@ def classical_sweep(
     *,
     compute_distances: bool = True,
     origin: float | None = None,
+    engine=None,
 ) -> ClassicalSweep:
     """Measure the classical parameters at every Δ in the grid.
 
     ``compute_distances=False`` skips the reachability scan and reports
-    only the cheap per-snapshot statistics.
+    only the cheap per-snapshot statistics.  The sweep runs through the
+    :mod:`repro.engine` subsystem; ``engine`` accepts an engine
+    instance, a backend name, or ``None`` for the process default.
     """
-    points = []
-    for delta in np.asarray(deltas, dtype=np.float64):
-        series = aggregate(stream, float(delta), origin=origin)
-        snapshot_stats = series_metrics(series)
-        distances: DistanceStats | None = None
-        if compute_distances:
-            distances = scan_series(series, compute_distances=True).distances
-        points.append(ClassicalPoint(float(delta), snapshot_stats, distances))
-    return ClassicalSweep(points)
+    tasks = plan_classical_sweep(
+        deltas, compute_distances=compute_distances, origin=origin
+    )
+    with engine_scope(engine) as eng:
+        return ClassicalSweep(eng.run(stream, tasks))

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.saturation import SaturationResult, occupancy_method
+from repro.engine import engine_scope
 from repro.linkstream.statistics import activity_profile
 from repro.linkstream.stream import LinkStream
 from repro.utils.errors import ValidationError
@@ -100,6 +101,7 @@ def per_period_saturation(
     bin_width: float | None = None,
     threshold: float | None = None,
     min_events: int = 50,
+    engine=None,
     **occupancy_kwargs,
 ) -> PerPeriodSaturation:
     """Run the occupancy method separately on high- and low-activity time.
@@ -108,30 +110,33 @@ def per_period_saturation(
     concatenated (with their original timestamps — minimal trips never
     cross period boundaries of the opposite class anyway once each class
     is analyzed on its own stream), and likewise for low-activity time.
-    A class with fewer than ``min_events`` events is skipped.
+    A class with fewer than ``min_events`` events is skipped.  Both
+    per-class sweeps run through ``engine`` (see
+    :func:`~repro.core.saturation.occupancy_method`).
     """
     periods = split_by_activity(stream, bin_width=bin_width, threshold=threshold)
     results: dict[str, SaturationResult | None] = {"high": None, "low": None}
-    for label in ("high", "low"):
-        keep = np.zeros(stream.num_events, dtype=bool)
-        for period in periods:
-            if period.label == label:
-                keep |= (stream.timestamps >= period.start) & (
-                    stream.timestamps < period.end
-                )
-        if int(keep.sum()) < min_events:
-            continue
-        sub = LinkStream(
-            stream.sources[keep],
-            stream.targets[keep],
-            stream.timestamps[keep],
-            directed=stream.directed,
-            num_nodes=stream.num_nodes,
-            labels=stream.labels,
-        )
-        if sub.distinct_timestamps().size < 2:
-            continue
-        results[label] = occupancy_method(sub, **occupancy_kwargs)
+    with engine_scope(engine) as eng:
+        for label in ("high", "low"):
+            keep = np.zeros(stream.num_events, dtype=bool)
+            for period in periods:
+                if period.label == label:
+                    keep |= (stream.timestamps >= period.start) & (
+                        stream.timestamps < period.end
+                    )
+            if int(keep.sum()) < min_events:
+                continue
+            sub = LinkStream(
+                stream.sources[keep],
+                stream.targets[keep],
+                stream.timestamps[keep],
+                directed=stream.directed,
+                num_nodes=stream.num_nodes,
+                labels=stream.labels,
+            )
+            if sub.distinct_timestamps().size < 2:
+                continue
+            results[label] = occupancy_method(sub, engine=eng, **occupancy_kwargs)
     return PerPeriodSaturation(
         periods=periods,
         high_result=results["high"],

@@ -97,17 +97,20 @@ def analyze_stream(
     *,
     validate: bool = True,
     max_elongation_trips: int = 50_000,
+    engine=None,
     **occupancy_kwargs,
 ) -> StreamReport:
     """Run the full pipeline on a stream and return a :class:`StreamReport`.
 
     Extra keyword arguments go to
     :func:`~repro.core.saturation.occupancy_method` (``num_deltas``,
-    ``method``, ``refine_rounds``...).  ``validate=False`` skips the
-    Section 8 loss measures (they need a second scan of the raw stream).
+    ``method``, ``refine_rounds``...).  The sweep runs through ``engine``
+    (an engine instance, a backend name, or ``None`` for the process
+    default).  ``validate=False`` skips the Section 8 loss measures (they
+    need a second scan of the raw stream).
     """
     summary = stream_summary(stream)
-    saturation = occupancy_method(stream, **occupancy_kwargs)
+    saturation = occupancy_method(stream, engine=engine, **occupancy_kwargs)
 
     lost: float | None = None
     elongation: ElongationPoint | None = None

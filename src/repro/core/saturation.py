@@ -12,6 +12,12 @@ range (below γ) from the altered range (beyond γ).
 The method is fully automatic and parameter-free: called with just a
 link stream it chooses its own Δ grid and returns γ together with the
 full sweep evidence.
+
+Per-Δ evaluations run through the :mod:`repro.engine` subsystem: the
+grid becomes a plan of independent tasks dispatched to a pluggable
+backend (serial by default, threads or processes on request) behind a
+content-addressed result cache, so re-runs, refinement rounds, and
+stability analyses never recompute a sweep point.
 """
 
 from __future__ import annotations
@@ -21,9 +27,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.distribution import OccupancyDistribution
-from repro.core.occupancy import stream_occupancy_at
 from repro.core.sweep import log_delta_grid, refine_grid
-from repro.core.uniformity import get_method, score_distribution
+from repro.core.uniformity import get_method
+from repro.engine import engine_scope, plan_occupancy_sweep
 from repro.linkstream.stream import LinkStream
 from repro.utils.errors import SweepError, ValidationError
 from repro.utils.timeunits import format_duration
@@ -95,6 +101,7 @@ def occupancy_method(
     refine_rounds: int = 0,
     refine_points: int = 8,
     origin: float | None = None,
+    engine=None,
 ) -> SaturationResult:
     """Determine the saturation scale γ of a link stream.
 
@@ -127,6 +134,13 @@ def occupancy_method(
         With the default 0, the grid is used as-is (paper behaviour).
     origin:
         Absolute start of window 0 (defaults to the first event).
+    engine:
+        How to execute the sweep: a
+        :class:`~repro.engine.scheduler.SweepEngine`, a backend name
+        (``"serial"``, ``"thread"``, ``"process"``), or ``None`` for the
+        process default (configurable via ``REPRO_ENGINE`` /
+        ``REPRO_CACHE_DIR``).  Every backend returns bit-identical
+        results; cached sweep points are reused, never recomputed.
 
     Returns
     -------
@@ -148,20 +162,23 @@ def occupancy_method(
     for name in methods:
         get_method(name)  # validate early
 
-    points = _evaluate_deltas(
-        stream, deltas, methods, bins, exact, include_self, origin
-    )
-    for _ in range(refine_rounds):
-        current = np.array([p.delta for p in points])
-        scores = np.array([p.scores[method] for p in points])
-        best = int(np.argmax(scores))
-        extra = refine_grid(current, best, points=refine_points)
-        if not extra.size:
-            break
-        points.extend(
-            _evaluate_deltas(stream, extra, methods, bins, exact, include_self, origin)
+    with engine_scope(engine) as eng:
+        points = _evaluate_deltas(
+            stream, deltas, methods, bins, exact, include_self, origin, eng
         )
-        points.sort(key=lambda p: p.delta)
+        for _ in range(refine_rounds):
+            current = np.array([p.delta for p in points])
+            scores = np.array([p.scores[method] for p in points])
+            best = int(np.argmax(scores))
+            extra = refine_grid(current, best, points=refine_points)
+            if not extra.size:
+                break
+            points.extend(
+                _evaluate_deltas(
+                    stream, extra, methods, bins, exact, include_self, origin, eng
+                )
+            )
+            points.sort(key=lambda p: p.delta)
 
     final_scores = np.array([p.scores[method] for p in points])
     gamma = points[int(np.argmax(final_scores))].delta
@@ -176,25 +193,14 @@ def _evaluate_deltas(
     exact: bool,
     include_self: bool,
     origin: float | None,
+    engine,
 ) -> list[SweepPoint]:
-    points = []
-    for delta in deltas:
-        distribution, series, num_trips = stream_occupancy_at(
-            stream,
-            float(delta),
-            origin=origin,
-            bins=bins,
-            exact=exact,
-            include_self=include_self,
-        )
-        points.append(
-            SweepPoint(
-                delta=float(delta),
-                num_windows=series.num_steps,
-                num_nonempty_windows=int(series.nonempty_steps().size),
-                num_trips=num_trips,
-                distribution=distribution,
-                scores=score_distribution(distribution, methods),
-            )
-        )
-    return points
+    tasks = plan_occupancy_sweep(
+        deltas,
+        methods=methods,
+        bins=bins,
+        exact=exact,
+        include_self=include_self,
+        origin=origin,
+    )
+    return engine.run(stream, tasks)

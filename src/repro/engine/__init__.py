@@ -1,0 +1,91 @@
+"""Sweep-execution engine: task planning, pluggable backends, caching.
+
+The occupancy method and its companions all share one workload shape —
+evaluate many independent aggregation periods Δ on one stream.  This
+package turns that loop into an explicit plan of
+:class:`~repro.engine.tasks.DeltaTask`s executed by a pluggable
+:class:`~repro.engine.backends.ExecutionBackend` behind a
+content-addressed :class:`~repro.engine.cache.SweepCache`:
+
+* :mod:`repro.engine.tasks` — per-Δ task records (occupancy and
+  classical sweeps) with evaluation and cache-key logic;
+* :mod:`repro.engine.backends` — serial (default), thread-pool, and
+  chunked process-pool execution, all bit-identical;
+* :mod:`repro.engine.cache` — layered memory/disk result store keyed on
+  the stream fingerprint plus the task parameters;
+* :mod:`repro.engine.scheduler` — :class:`SweepEngine`, the cache-aware
+  dispatcher, plus the ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` defaults;
+* :mod:`repro.engine.progress` — listener hooks for long sweeps.
+
+Typical use::
+
+    from repro.engine import SweepEngine
+
+    engine = SweepEngine("process", jobs=8)
+    result = occupancy_method(stream, engine=engine)     # parallel sweep
+    again = occupancy_method(stream, engine=engine)      # pure cache hits
+"""
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+)
+from repro.engine.cache import (
+    MISS,
+    CacheStore,
+    DiskStore,
+    MemoryStore,
+    SweepCache,
+)
+from repro.engine.progress import NULL_PROGRESS, ProgressListener, StderrProgress
+from repro.engine.scheduler import (
+    CACHE_DIR_ENV_VAR,
+    ENGINE_ENV_VAR,
+    SweepEngine,
+    default_engine,
+    engine_from_env,
+    engine_scope,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.engine.tasks import (
+    ClassicalTask,
+    DeltaTask,
+    OccupancyTask,
+    plan_classical_sweep,
+    plan_occupancy_sweep,
+)
+
+__all__ = [
+    "DeltaTask",
+    "OccupancyTask",
+    "ClassicalTask",
+    "plan_occupancy_sweep",
+    "plan_classical_sweep",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "available_backends",
+    "SweepCache",
+    "CacheStore",
+    "MemoryStore",
+    "DiskStore",
+    "MISS",
+    "SweepEngine",
+    "default_engine",
+    "set_default_engine",
+    "resolve_engine",
+    "engine_scope",
+    "engine_from_env",
+    "ENGINE_ENV_VAR",
+    "CACHE_DIR_ENV_VAR",
+    "ProgressListener",
+    "StderrProgress",
+    "NULL_PROGRESS",
+]

@@ -1,0 +1,193 @@
+"""Content-addressed caching of per-Δ sweep results.
+
+Sweeps recompute aggressively without help: a refinement round revisits
+the same stream, a stability analysis re-evaluates the full stream once
+per call, cross-method comparisons re-run identical (Δ, stream) pairs,
+and interactive sessions repeat whole sweeps verbatim.  Every one of
+those evaluations is a pure function of ``(stream content, task
+parameters)`` — so the cache keys on exactly that: the stream's
+:meth:`~repro.linkstream.stream.LinkStream.fingerprint` plus the task's
+own parameter token (see :meth:`DeltaTask.cache_key`).
+
+Two stores are provided.  :class:`MemoryStore` is a bounded LRU map for
+within-process reuse; :class:`DiskStore` pickles results under a cache
+directory (atomic writes, corrupt entries treated as misses) so warm
+re-runs survive across processes.  :class:`SweepCache` layers them:
+reads check memory first and promote disk hits, writes go to every
+layer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro.utils.errors import EngineError
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISS = object()
+
+
+class CacheStore(ABC):
+    """One storage layer of a :class:`SweepCache`."""
+
+    @abstractmethod
+    def get(self, key: str) -> Any:
+        """The stored value, or :data:`MISS`."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any) -> None: ...
+
+
+class MemoryStore(CacheStore):
+    """Bounded in-process LRU store (the default cache layer).
+
+    Thread-safe: the process-wide default engine is shared by every
+    engine-less sweep call, so concurrent callers may hit one store.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise EngineError("max_entries must be a positive integer")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            if key not in self._entries:
+                return MISS
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskStore(CacheStore):
+    """Pickle-per-entry store under a cache directory.
+
+    Entries are named by their (hex) cache key, written atomically via a
+    temporary file, and sharded into 256 subdirectories by key prefix so
+    huge caches stay filesystem-friendly.  Unreadable entries count as
+    misses — a damaged cache only costs recomputation.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self._root = Path(directory)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._root
+
+    def _path(self, key: str) -> Path:
+        return self._root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return MISS
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+class SweepCache:
+    """Layered result cache with hit/miss accounting.
+
+    Parameters
+    ----------
+    stores:
+        Storage layers, fastest first.  Reads probe them in order and
+        copy hits into the earlier (faster) layers; writes go to all.
+    """
+
+    def __init__(self, stores: list[CacheStore] | None = None) -> None:
+        if stores is None:
+            stores = [MemoryStore()]
+        if not stores:
+            raise EngineError("a SweepCache needs at least one store")
+        self._stores = list(stores)
+        self._stats_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        memory: bool = True,
+        max_entries: int = 1024,
+        disk_dir: str | os.PathLike | None = None,
+    ) -> "SweepCache":
+        """The common layerings in one call: memory, disk, or both."""
+        stores: list[CacheStore] = []
+        if memory:
+            stores.append(MemoryStore(max_entries))
+        if disk_dir is not None:
+            stores.append(DiskStore(disk_dir))
+        return cls(stores)
+
+    @property
+    def stores(self) -> list[CacheStore]:
+        return list(self._stores)
+
+    def get(self, key: str) -> Any:
+        for depth, store in enumerate(self._stores):
+            value = store.get(key)
+            if value is not MISS:
+                with self._stats_lock:
+                    self.hits += 1
+                for earlier in self._stores[:depth]:
+                    earlier.put(key, value)
+                return value
+        with self._stats_lock:
+            self.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        for store in self._stores:
+            store.put(key, value)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        layers = ", ".join(type(s).__name__ for s in self._stores)
+        return f"SweepCache([{layers}], hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,63 @@
+"""Progress reporting for long sweeps.
+
+A full-scale KONECT sweep can take minutes per Δ; the engine reports
+task completion through a tiny listener interface so callers (the CLI,
+notebooks, the benches) can surface progress without the numerics
+knowing anything about terminals.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+
+class ProgressListener:
+    """Receives sweep lifecycle events.  The default methods do nothing,
+    so subclasses override only what they need."""
+
+    def on_start(self, total: int) -> None:
+        """A sweep of ``total`` tasks is about to run."""
+
+    def on_advance(self, done: int, total: int, *, cached: bool = False) -> None:
+        """``done`` of ``total`` tasks are now complete (``cached`` marks
+        batches satisfied from the cache rather than computed)."""
+
+    def on_finish(self, total: int) -> None:
+        """The sweep completed."""
+
+
+#: Shared no-op listener (the default).
+NULL_PROGRESS = ProgressListener()
+
+
+class StderrProgress(ProgressListener):
+    """One-line textual progress on a terminal stream.
+
+    Writes ``sweep 12/40 (3 cached)`` carriage-return updates; a final
+    newline is emitted on finish so subsequent output starts clean.
+    """
+
+    def __init__(self, stream: TextIO | None = None, *, label: str = "sweep") -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._label = label
+        self._cached = 0
+
+    def on_start(self, total: int) -> None:
+        self._cached = 0
+        self._render(0, total)
+
+    def on_advance(self, done: int, total: int, *, cached: bool = False) -> None:
+        if cached:
+            self._cached = done  # cached tasks are delivered first, in bulk
+        self._render(done, total)
+
+    def on_finish(self, total: int) -> None:
+        self._render(total, total)
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def _render(self, done: int, total: int) -> None:
+        suffix = f" ({self._cached} cached)" if self._cached else ""
+        self._stream.write(f"\r{self._label} {done}/{total}{suffix}")
+        self._stream.flush()

@@ -1,0 +1,186 @@
+"""The sweep engine: plan in, results out.
+
+:class:`SweepEngine` is the seam between the sweep callers
+(:func:`~repro.core.saturation.occupancy_method` and friends) and the
+execution machinery.  ``run(stream, tasks)``:
+
+1. probes the :class:`~repro.engine.cache.SweepCache` for every task
+   (keyed on the stream fingerprint + task parameters),
+2. hands only the misses to the :class:`ExecutionBackend`,
+3. stores the fresh results and returns everything in task order.
+
+The process-wide **default engine** is what sweeps use when no engine is
+passed explicitly.  It is configured from the environment on first use:
+
+* ``REPRO_ENGINE`` — backend spec, e.g. ``serial`` (default), ``thread``,
+  ``process``, or ``thread:8`` to pin the worker count;
+* ``REPRO_CACHE_DIR`` — adds a persistent on-disk result store.
+
+An in-memory cache is always on for the default engine: results are
+immutable and deterministic, so reuse is free correctness-wise and turns
+refinement rounds, stability re-runs, and repeated interactive sweeps
+into lookups.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+
+from repro.engine.backends import ExecutionBackend, get_backend
+from repro.engine.cache import MISS, SweepCache
+from repro.engine.progress import NULL_PROGRESS, ProgressListener
+from repro.engine.tasks import DeltaTask
+from repro.linkstream.stream import LinkStream
+
+#: Environment variable selecting the default engine's backend.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+#: Environment variable adding a disk store to the default engine.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+class SweepEngine:
+    """Executes sweep plans through a backend, behind a result cache.
+
+    Parameters
+    ----------
+    backend:
+        An :class:`ExecutionBackend`, a backend name (``"serial"``,
+        ``"thread"``, ``"process"``, optionally ``"name:jobs"``), or
+        ``None`` for serial.
+    cache:
+        A :class:`SweepCache`, or ``None`` to disable caching entirely.
+    jobs:
+        Worker count when ``backend`` is given by name.
+    progress:
+        A :class:`ProgressListener` notified as tasks complete.
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend | None = None,
+        *,
+        cache: SweepCache | None = None,
+        jobs: int | None = None,
+        progress: ProgressListener | None = None,
+    ) -> None:
+        self.backend = get_backend(backend, jobs=jobs)
+        self.cache = cache
+        self.progress = progress if progress is not None else NULL_PROGRESS
+
+    def run(self, stream: LinkStream, tasks: Sequence[DeltaTask]) -> list:
+        """Evaluate every task on ``stream``; ``results[i]`` matches
+        ``tasks[i]``.  Cached results are never recomputed."""
+        tasks = list(tasks)
+        total = len(tasks)
+        self.progress.on_start(total)
+        if not tasks:
+            self.progress.on_finish(total)
+            return []
+
+        results: list = [MISS] * total
+        pending: list[int] = []
+        keys: list[str | None] = [None] * total
+        if self.cache is not None:
+            fingerprint = stream.fingerprint()
+            for i, task in enumerate(tasks):
+                keys[i] = task.cache_key(fingerprint)
+                results[i] = self.cache.get(keys[i])
+                if results[i] is MISS:
+                    pending.append(i)
+        else:
+            pending = list(range(total))
+
+        done = total - len(pending)
+        if done:
+            self.progress.on_advance(done, total, cached=True)
+
+        if pending:
+            counter = {"done": done}
+
+            def tick(n: int) -> None:
+                counter["done"] += n
+                self.progress.on_advance(counter["done"], total)
+
+            fresh = self.backend.run(
+                stream, [tasks[i] for i in pending], tick=tick
+            )
+            for i, value in zip(pending, fresh):
+                results[i] = value
+                if self.cache is not None:
+                    self.cache.put(keys[i], value)
+
+        self.progress.on_finish(total)
+        return results
+
+    def close(self) -> None:
+        """Release backend workers (the cache stays usable)."""
+        self.backend.close()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SweepEngine(backend={self.backend!r}, cache={self.cache!r})"
+
+
+def engine_from_env(environ=None) -> SweepEngine:
+    """Build an engine from ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR``."""
+    env = os.environ if environ is None else environ
+    cache_dir = env.get(CACHE_DIR_ENV_VAR) or None
+    return SweepEngine(
+        env.get(ENGINE_ENV_VAR) or None,
+        cache=SweepCache.build(disk_dir=cache_dir),
+    )
+
+
+_default_engine: SweepEngine | None = None
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide engine, built from the environment on first use."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = engine_from_env()
+    return _default_engine
+
+
+def set_default_engine(engine: SweepEngine | None) -> None:
+    """Replace the process-wide engine (``None`` re-reads the environment
+    on next use)."""
+    global _default_engine
+    _default_engine = engine
+
+
+def resolve_engine(engine: SweepEngine | str | None) -> SweepEngine:
+    """The engine a sweep should use: an instance as-is, a backend name
+    as a fresh cached engine, ``None`` as the process default."""
+    if engine is None:
+        return default_engine()
+    if isinstance(engine, SweepEngine):
+        return engine
+    return SweepEngine(engine, cache=SweepCache.build())
+
+
+@contextmanager
+def engine_scope(engine: SweepEngine | str | None) -> Iterator[SweepEngine]:
+    """Resolve ``engine`` for the duration of one analysis call.
+
+    Sweep entry points accept an engine instance, a backend name, or
+    ``None``.  A name means "a private engine for this call": it is
+    built once here — so refinement rounds and repeated internal sweeps
+    share its cache — and its worker pool is closed on exit.  Instances
+    and the process default are passed through untouched; their
+    lifetime belongs to the caller.
+    """
+    owns = not (engine is None or isinstance(engine, SweepEngine))
+    resolved = resolve_engine(engine)
+    try:
+        yield resolved
+    finally:
+        if owns:
+            resolved.close()

@@ -1,0 +1,180 @@
+"""Sweep plans: the unit of work the execution engine schedules.
+
+A Δ sweep — the inner loop of the occupancy method and of the classical-
+parameter analysis — is a set of fully independent evaluations, one per
+aggregation period.  This module makes that structure explicit: each
+candidate Δ becomes one :class:`DeltaTask` that knows how to evaluate
+itself on a stream and how to describe itself for the content-addressed
+cache.  Backends (:mod:`repro.engine.backends`) execute tasks; the
+scheduler (:mod:`repro.engine.scheduler`) orders, caches, and collects.
+
+Tasks are small frozen dataclasses so they pickle cheaply to worker
+processes; the stream itself is shipped separately (once per chunk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.occupancy import stream_occupancy_at
+from repro.core.uniformity import score_distribution
+from repro.graphseries.aggregation import aggregate
+from repro.graphseries.metrics import series_metrics
+from repro.linkstream.stream import LinkStream
+from repro.temporal.reachability import scan_series
+
+#: Version of the evaluation numerics baked into every cache key.  Bump
+#: whenever any code a task's ``evaluate`` depends on changes results
+#: (aggregation, the backward scan, occupancy collection, scoring), so
+#: persistent disk caches from older releases invalidate instead of
+#: silently serving stale sweep points.
+EVAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeltaTask(ABC):
+    """One independent unit of sweep work: evaluate one Δ on a stream."""
+
+    delta: float
+
+    @property
+    @abstractmethod
+    def kind(self) -> str:
+        """Short tag naming the evaluation this task performs."""
+
+    @abstractmethod
+    def evaluate(self, stream: LinkStream) -> Any:
+        """Run the numerics for this Δ and return the per-Δ result."""
+
+    @abstractmethod
+    def _token(self) -> tuple:
+        """The parameters (beyond the stream) that determine the result."""
+
+    def cache_key(self, stream_fingerprint: str) -> str:
+        """Content address of this task's result on a given stream."""
+        payload = repr((EVAL_VERSION, self.kind, repr(self.delta), self._token()))
+        digest = hashlib.sha256()
+        digest.update(stream_fingerprint.encode())
+        digest.update(payload.encode())
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class OccupancyTask(DeltaTask):
+    """Aggregate at Δ, collect minimal-trip occupancies, score them.
+
+    Produces the :class:`~repro.core.saturation.SweepPoint` for one
+    aggregation period — the occupancy method's inner loop (Section 4).
+    """
+
+    methods: tuple[str, ...] = ("mk",)
+    bins: int = 4096
+    exact: bool = False
+    include_self: bool = False
+    origin: float | None = None
+
+    @property
+    def kind(self) -> str:
+        return "occupancy"
+
+    def _token(self) -> tuple:
+        return (
+            self.methods,
+            self.bins,
+            self.exact,
+            self.include_self,
+            None if self.origin is None else repr(float(self.origin)),
+        )
+
+    def evaluate(self, stream: LinkStream):
+        from repro.core.saturation import SweepPoint
+
+        distribution, series, num_trips = stream_occupancy_at(
+            stream,
+            float(self.delta),
+            origin=self.origin,
+            bins=self.bins,
+            exact=self.exact,
+            include_self=self.include_self,
+        )
+        return SweepPoint(
+            delta=float(self.delta),
+            num_windows=series.num_steps,
+            num_nonempty_windows=int(series.nonempty_steps().size),
+            num_trips=num_trips,
+            distribution=distribution,
+            scores=score_distribution(distribution, self.methods),
+        )
+
+
+@dataclass(frozen=True)
+class ClassicalTask(DeltaTask):
+    """Aggregate at Δ and measure the classical parameters (Section 3)."""
+
+    compute_distances: bool = True
+    origin: float | None = None
+
+    @property
+    def kind(self) -> str:
+        return "classical"
+
+    def _token(self) -> tuple:
+        return (
+            self.compute_distances,
+            None if self.origin is None else repr(float(self.origin)),
+        )
+
+    def evaluate(self, stream: LinkStream):
+        from repro.core.classical import ClassicalPoint
+
+        series = aggregate(stream, float(self.delta), origin=self.origin)
+        snapshot_stats = series_metrics(series)
+        distances = None
+        if self.compute_distances:
+            distances = scan_series(series, compute_distances=True).distances
+        return ClassicalPoint(float(self.delta), snapshot_stats, distances)
+
+
+def plan_occupancy_sweep(
+    deltas: np.ndarray,
+    *,
+    methods: tuple[str, ...],
+    bins: int = 4096,
+    exact: bool = False,
+    include_self: bool = False,
+    origin: float | None = None,
+) -> list[OccupancyTask]:
+    """One :class:`OccupancyTask` per candidate Δ, in grid order."""
+    return [
+        OccupancyTask(
+            delta=float(delta),
+            methods=tuple(methods),
+            bins=bins,
+            exact=exact,
+            include_self=include_self,
+            origin=origin,
+        )
+        for delta in np.asarray(deltas, dtype=np.float64)
+    ]
+
+
+def plan_classical_sweep(
+    deltas: np.ndarray,
+    *,
+    compute_distances: bool = True,
+    origin: float | None = None,
+) -> list[ClassicalTask]:
+    """One :class:`ClassicalTask` per candidate Δ, in grid order."""
+    return [
+        ClassicalTask(
+            delta=float(delta),
+            compute_distances=compute_distances,
+            origin=origin,
+        )
+        for delta in np.asarray(deltas, dtype=np.float64)
+    ]

@@ -10,18 +10,32 @@ Supported formats:
 
 Lines starting with ``#`` or ``%`` are treated as comments in the
 delimited formats (KONECT uses ``%``).
+
+All readers and writers transparently handle gzip compression: a path
+ending in ``.gz`` (e.g. ``out.contact.gz`` as KONECT distributes its
+dumps) is decompressed/compressed on the fly, so full-scale traces load
+without pre-extraction.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections.abc import Hashable, Iterable
 from pathlib import Path
+from typing import TextIO
 
 from repro.linkstream.stream import LinkStream
 from repro.utils.errors import LinkStreamError
 
 _COMMENT_PREFIXES = ("#", "%")
+
+
+def _open_text(path: str | Path, mode: str) -> TextIO:
+    """Open ``path`` for text reading/writing, gunzipping ``.gz`` files."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 def _parse_delimited(
@@ -36,7 +50,7 @@ def _parse_delimited(
     iu, iv, it = order.index("u"), order.index("v"), order.index("t")
 
     def triples() -> Iterable[tuple[Hashable, Hashable, float]]:
-        with open(path, encoding="utf-8") as handle:
+        with _open_text(path, "r") as handle:
             for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line or line.startswith(_COMMENT_PREFIXES):
@@ -77,7 +91,7 @@ def read_jsonl(path: str | Path, *, directed: bool = True) -> LinkStream:
     """Read a JSON-lines event file with ``u``, ``v``, ``t`` keys."""
 
     def triples() -> Iterable[tuple[Hashable, Hashable, float]]:
-        with open(path, encoding="utf-8") as handle:
+        with _open_text(path, "r") as handle:
             for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
@@ -105,7 +119,7 @@ def _write_delimited(stream: LinkStream, path: str | Path, sep: str, columns: st
     order = columns.split()
     if sorted(order) != ["t", "u", "v"]:
         raise LinkStreamError(f"columns must be a permutation of 'u v t', got {columns!r}")
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         for u, v, t in stream.events():
             fields = {"u": u, "v": v, "t": t}
             handle.write(sep.join(str(fields[c]) for c in order))
@@ -114,7 +128,7 @@ def _write_delimited(stream: LinkStream, path: str | Path, sep: str, columns: st
 
 def write_jsonl(stream: LinkStream, path: str | Path) -> None:
     """Write one JSON object per event."""
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         for u, v, t in stream.events():
             handle.write(json.dumps({"u": u, "v": v, "t": t}))
             handle.write("\n")

@@ -11,6 +11,7 @@ discrete and continuous time (Section 2).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Hashable, Iterable, Iterator
 
 import numpy as np
@@ -38,7 +39,18 @@ class LinkStream:
         Optional external labels, ``labels[i]`` naming node ``i``.
     """
 
-    __slots__ = ("_u", "_v", "_t", "_directed", "_num_nodes", "_labels", "_label_index")
+    __slots__ = (
+        "_u",
+        "_v",
+        "_t",
+        "_directed",
+        "_num_nodes",
+        "_labels",
+        "_label_index",
+        "_distinct_t",
+        "_resolution",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -104,6 +116,10 @@ class LinkStream:
         else:
             self._labels = None
         self._label_index = None
+        # Lazy caches: the event arrays are frozen, so these never go stale.
+        self._distinct_t = None
+        self._resolution = None
+        self._fingerprint = None
 
     # -- constructors ----------------------------------------------------
 
@@ -249,19 +265,47 @@ class LinkStream:
     # -- time structure ------------------------------------------------------
 
     def distinct_timestamps(self) -> np.ndarray:
-        """Sorted array of distinct event times."""
-        return np.unique(self._t)
+        """Sorted array of distinct event times (cached, read-only)."""
+        if self._distinct_t is None:
+            distinct = np.unique(self._t)
+            distinct.setflags(write=False)
+            self._distinct_t = distinct
+        return self._distinct_t
 
     def resolution(self) -> float:
-        """Smallest positive gap between distinct timestamps.
+        """Smallest positive gap between distinct timestamps (cached).
 
         This is the finest meaningful aggregation period (the paper sweeps
         Δ from the timestamp resolution up to the full span).
         """
-        distinct = self.distinct_timestamps()
-        if distinct.size < 2:
-            raise LinkStreamError("need at least two distinct timestamps for a resolution")
-        return float(np.diff(distinct).min())
+        if self._resolution is None:
+            distinct = self.distinct_timestamps()
+            if distinct.size < 2:
+                raise LinkStreamError(
+                    "need at least two distinct timestamps for a resolution"
+                )
+            self._resolution = float(np.diff(distinct).min())
+        return self._resolution
+
+    def fingerprint(self) -> str:
+        """Content hash of the stream (cached).
+
+        Covers the event arrays, their dtypes, directedness, and the node
+        count — everything that determines the outcome of an aggregation
+        or a sweep.  Node labels are deliberately excluded: relabeling
+        does not change any measured quantity.  Used by
+        :mod:`repro.engine` to key its sweep cache.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(
+                f"v1|{int(self._directed)}|{self._num_nodes}|{self._t.dtype.str}|".encode()
+            )
+            digest.update(self._u.tobytes())
+            digest.update(self._v.tobytes())
+            digest.update(self._t.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # -- derived streams -----------------------------------------------------
 

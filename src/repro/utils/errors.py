@@ -23,3 +23,7 @@ class SweepError(ReproError):
 
 class ValidationError(ReproError):
     """Invalid argument outside the other categories."""
+
+
+class EngineError(ReproError):
+    """Invalid sweep-engine configuration (unknown backend, bad cache...)."""

@@ -50,6 +50,53 @@ class TestAnalyze:
         assert code == 2
 
 
+class TestAnalyzeEngine:
+    def test_thread_backend_matches_serial(self, events_file, capsys):
+        code = main(["analyze", str(events_file), "--num-deltas", "8"])
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        code = main(
+            [
+                "analyze",
+                str(events_file),
+                "--num-deltas",
+                "8",
+                "--backend",
+                "thread",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == serial_out  # bit-identical evidence
+
+    def test_cache_dir_persists_results(self, events_file, tmp_path, capsys):
+        cache_dir = tmp_path / "sweep-cache"
+        args = [
+            "analyze",
+            str(events_file),
+            "--num-deltas",
+            "8",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        entries = list(cache_dir.rglob("*.pkl"))
+        assert entries  # per-delta results written
+        assert main(args) == 0  # warm re-run, served from disk
+        assert capsys.readouterr().out == cold_out
+
+    def test_progress_flag_writes_stderr(self, events_file, capsys):
+        code = main(["analyze", str(events_file), "--num-deltas", "8", "--progress"])
+        assert code == 0
+        assert "sweep" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self, events_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(events_file), "--backend", "gpu"])
+
+
 class TestAggregate:
     def test_writes_window_edges(self, events_file, tmp_path, capsys):
         out_path = tmp_path / "series.tsv"

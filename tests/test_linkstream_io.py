@@ -1,5 +1,7 @@
 """Unit tests for link-stream readers/writers."""
 
+import gzip
+
 import pytest
 
 from repro.linkstream import (
@@ -45,6 +47,34 @@ class TestRoundTrips:
         write_tsv(sample, path, columns="t u v")
         back = read_tsv(path, columns="t u v")
         assert [e for e in back.events()] == [e for e in sample.events()]
+
+
+class TestGzip:
+    def test_tsv_gz_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "events.tsv.gz"
+        write_tsv(sample, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really compressed
+        back = read_tsv(path)
+        assert [e for e in back.events()] == [e for e in sample.events()]
+
+    def test_csv_gz_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "events.csv.gz"
+        write_csv(sample, path)
+        back = read_csv(path)
+        assert back.num_events == sample.num_events
+
+    def test_jsonl_gz_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        write_jsonl(sample, path)
+        back = read_jsonl(path)
+        assert [e for e in back.events()] == [e for e in sample.events()]
+
+    def test_reads_externally_gzipped_konect_dump(self, tmp_path):
+        path = tmp_path / "out.contact.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("% konect header\na b 1\nb c 2\n")
+        stream = read_tsv(path)
+        assert stream.num_events == 2
 
 
 class TestParsing:

@@ -130,6 +130,42 @@ class TestTimeStructure:
         with pytest.raises(LinkStreamError):
             stream.resolution()
 
+    def test_distinct_timestamps_cached_and_read_only(self):
+        stream = LinkStream([0, 1, 0], [1, 2, 2], [5, 5, 9])
+        first = stream.distinct_timestamps()
+        assert stream.distinct_timestamps() is first  # computed once
+        assert not first.flags.writeable
+
+    def test_resolution_cached(self):
+        stream = LinkStream([0, 1, 0], [1, 2, 2], [0, 10, 13])
+        assert stream.resolution() == 3
+        assert stream.resolution() == 3  # served from the instance cache
+
+    def test_fingerprint_is_content_hash(self):
+        a = LinkStream([0, 1], [1, 2], [0, 5])
+        b = LinkStream([0, 1], [1, 2], [0, 5])
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() is a.fingerprint()  # cached string
+        assert a.fingerprint() != LinkStream([0, 1], [1, 2], [0, 6]).fingerprint()
+        assert (
+            a.fingerprint()
+            != LinkStream([0, 1], [1, 2], [0, 5], directed=False).fingerprint()
+        )
+        assert (
+            a.fingerprint()
+            != LinkStream([0, 1], [1, 2], [0, 5], num_nodes=9).fingerprint()
+        )
+
+    def test_fingerprint_distinguishes_int_and_float_times(self):
+        ints = LinkStream([0, 1], [1, 2], [0, 5])
+        floats = LinkStream([0, 1], [1, 2], [0.0, 5.0])
+        assert ints.fingerprint() != floats.fingerprint()
+
+    def test_fingerprint_ignores_labels(self):
+        plain = LinkStream([0, 1], [1, 2], [0, 5])
+        labeled = LinkStream([0, 1], [1, 2], [0, 5], labels=["a", "b", "c"])
+        assert plain.fingerprint() == labeled.fingerprint()
+
 
 class TestDerivedStreams:
     def test_restrict_time_half_open(self, chain_stream):
