@@ -1,0 +1,102 @@
+"""Ablation — within-Δ sharding of one huge occupancy evaluation.
+
+Grid parallelism is useless on the coarse-Δ tail of a sweep: one Δ, one
+task, one worker, everyone else idle.  The engine's shard path splits
+that single evaluation into destination-partition scans (the arrival
+matrix's columns are independent dynamic programs) and merges the
+occupancy histograms integer-exactly.  This bench pins both claims on a
+single coarse Δ of a dense synthetic stream:
+
+* wall time — unsharded (one worker) vs sharded across the pool;
+* bit-identity — the merged sweep point must equal the serial
+  reference exactly, scores, trip counts, and distribution alike.
+
+The speedup assertion only applies when the machine actually has >= 2
+workers; the bit-identity assertions always apply.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from _harness import emit
+
+from repro.engine import SweepEngine, plan_occupancy_sweep
+from repro.generators import time_uniform_stream
+from repro.reporting import render_table
+
+JOBS = min(4, os.cpu_count() or 1)
+
+#: One coarse Δ — span/4, i.e. the expensive tail of a sweep where the
+#: whole plan is a single task.
+SPAN = 100_000.0
+COARSE_DELTA = SPAN / 4.0
+
+
+def _assert_identical(point, reference):
+    assert point.scores == reference.scores
+    assert point.num_trips == reference.num_trips
+    assert point.num_windows == reference.num_windows
+    assert point.num_nonempty_windows == reference.num_nonempty_windows
+    assert point.distribution.values.tolist() == reference.distribution.values.tolist()
+    assert point.distribution.weights.tolist() == reference.distribution.weights.tolist()
+
+
+def test_sharding_ablation(benchmark, capsys):
+    # Dense enough that the O(n * |E_k|) backward scan dominates the
+    # shared per-shard costs (aggregation, window bookkeeping).
+    stream = time_uniform_stream(600, 1, SPAN, seed=3)
+    tasks = plan_occupancy_sweep([COARSE_DELTA], methods=("mk",))
+    warmup = plan_occupancy_sweep([SPAN / 2.0, SPAN], methods=("mk",))
+
+    def compare():
+        rows = []
+        with SweepEngine(cache=None) as serial_engine:
+            start = perf_counter()
+            reference = serial_engine.run(stream, tasks)[0]
+            serial_time = perf_counter() - start
+        rows.append(["serial (reference)", 1, serial_time])
+
+        timings = {}
+        # At least 2 shards even on a single-core machine, so the shard
+        # path itself (restricted scans + histogram merge) always runs.
+        shard_count = max(2, JOBS)
+        for label, shards in (("unsharded", 1), ("sharded", shard_count)):
+            with SweepEngine(f"process:{JOBS}", cache=None, shards=shards) as engine:
+                engine.run(stream, warmup)  # spawn + import the pool workers
+                # Best of two rounds, so a scheduling hiccup on a busy
+                # CI runner cannot fake (or hide) the sharding speedup.
+                elapsed = []
+                for _ in range(2):
+                    start = perf_counter()
+                    point = engine.run(stream, tasks)[0]
+                    elapsed.append(perf_counter() - start)
+                timings[label] = min(elapsed)
+            _assert_identical(point, reference)
+            rows.append([f"process:{JOBS} {label}", shards, timings[label]])
+
+        with SweepEngine(f"thread:{JOBS}", cache=None, shards=shard_count) as engine:
+            point = engine.run(stream, tasks)[0]
+        _assert_identical(point, reference)
+
+        return rows, timings
+
+    rows, timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = render_table(
+        ["configuration", "shards", "wall_seconds"],
+        rows,
+        title=(
+            f"Ablation — within-delta sharding (1 coarse delta, "
+            f"{stream.num_events} events, jobs={JOBS})"
+        ),
+    )
+    emit(capsys, "ablation_sharding", table)
+
+    # The acceptance claim: on >= 2 workers the sharded evaluation of a
+    # single coarse Δ beats the unsharded one wall-clock.
+    if JOBS >= 2:
+        assert timings["sharded"] < timings["unsharded"], (
+            f"sharded {timings['sharded']:.3f}s not faster than "
+            f"unsharded {timings['unsharded']:.3f}s on {JOBS} workers"
+        )

@@ -29,9 +29,14 @@ def main() -> None:
     # engine="thread" or engine="process" (or set REPRO_ENGINE, or use
     # `repro analyze --backend process --jobs 8` on the CLI) to evaluate
     # periods in parallel — results are bit-identical to the serial
-    # default.  Sweep points are cached by stream content, so repeating
-    # this call (refinement rounds, stability re-runs) is free;
-    # REPRO_CACHE_DIR / --cache-dir makes the cache survive restarts.
+    # default.  When a plan has fewer Δ values than workers (the huge
+    # coarse-Δ evaluations, refinement rounds), the engine also shards
+    # *within* a Δ, partitioning trip destinations across workers and
+    # merging the histograms exactly (shards="auto" is the default;
+    # REPRO_SHARDS / --shards control it).  Sweep points are cached by
+    # stream content, so repeating this call (refinement rounds,
+    # stability re-runs) is free; REPRO_CACHE_DIR / --cache-dir makes
+    # the cache survive restarts.
     result = occupancy_method(stream, num_deltas=24)
     print(result.describe())
     print()

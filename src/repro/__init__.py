@@ -50,6 +50,30 @@ the command line (``repro analyze --backend process --jobs 8
 --cache-dir ~/.cache/repro``).  ``REPRO_CACHE_DIR`` adds a persistent
 on-disk store to the default engine.  All backends and cache states
 return bit-identical γ and per-Δ scores.
+
+Sharded evaluation
+------------------
+Grid parallelism stops helping exactly where sweeps are slowest: the
+coarse-Δ tail and refinement rounds, where a handful of huge ``O(nM)``
+backward scans each pin a single worker.  The engine therefore also
+parallelizes *within* one Δ.  The scan's arrival-matrix columns are
+independent dynamic programs (one per trip destination), so a Δ
+evaluation splits into destination-partition shards
+(:class:`~repro.engine.tasks.OccupancyShardTask`): each shard scans a
+node subset's incoming trips with a proportionally smaller state, and
+the shard histograms merge back — integer-exact — into the very
+accumulator an unsharded scan would have produced.  Sharded results are
+bit-identical to unsharded ones on every backend.
+
+The default policy is ``auto``: shard a task into ``ceil(workers /
+tasks)`` pieces only when the plan has fewer tasks than the backend has
+workers.  Control it per call (``occupancy_method(stream,
+engine="process", shards=8)``), per engine (``SweepEngine("process",
+shards="auto")``), process-wide (``REPRO_SHARDS``), or on the command
+line (``repro analyze --backend process --jobs 8 --shards auto``).
+Shard results carry their shard spec in the cache key, and merged
+sweep points are stored under the unsharded key, so sharded and
+unsharded runs warm each other.
 """
 
 from repro.core import (

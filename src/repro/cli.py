@@ -26,6 +26,7 @@ from repro.datasets import available_datasets, dataset_spec, load
 from repro.engine import (
     CACHE_DIR_ENV_VAR,
     ENGINE_ENV_VAR,
+    SHARDS_ENV_VAR,
     StderrProgress,
     SweepCache,
     SweepEngine,
@@ -49,11 +50,13 @@ def _build_engine(args: argparse.Namespace) -> SweepEngine:
     ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` environment defaults)."""
     backend = args.backend or os.environ.get(ENGINE_ENV_VAR) or "serial"
     cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV_VAR) or None
+    shards = args.shards or os.environ.get(SHARDS_ENV_VAR) or None
     return SweepEngine(
         backend,
         jobs=args.jobs,
         cache=SweepCache.build(disk_dir=cache_dir),
         progress=StderrProgress() if args.progress else None,
+        shards=shards,
     )
 
 
@@ -163,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker threads/processes for --backend thread/process "
         "(default: the CPU count)",
+    )
+    analyze.add_argument(
+        "--shards",
+        default=None,
+        help="within-delta sharding: 'auto' splits a large evaluation "
+        "across idle workers when the sweep has fewer deltas than "
+        "--jobs (coarse-delta tail, refinement rounds), an integer "
+        "forces that many shards per delta, 1 disables; results are "
+        f"bit-identical either way (default: ${SHARDS_ENV_VAR} or 'auto')",
     )
     analyze.add_argument(
         "--cache-dir",

@@ -82,6 +82,7 @@ def classical_sweep(
     compute_distances: bool = True,
     origin: float | None = None,
     engine=None,
+    shards: int | str | None = None,
 ) -> ClassicalSweep:
     """Measure the classical parameters at every Δ in the grid.
 
@@ -89,9 +90,12 @@ def classical_sweep(
     only the cheap per-snapshot statistics.  The sweep runs through the
     :mod:`repro.engine` subsystem; ``engine`` accepts an engine
     instance, a backend name, or ``None`` for the process default.
+    ``shards`` sets the within-Δ shard policy for the run; classical
+    tasks do not currently shard (distance statistics span all node
+    pairs), so they ride through any policy unchanged.
     """
     tasks = plan_classical_sweep(
         deltas, compute_distances=compute_distances, origin=origin
     )
     with engine_scope(engine) as eng:
-        return ClassicalSweep(eng.run(stream, tasks))
+        return ClassicalSweep(eng.run(stream, tasks, shards=shards))

@@ -60,6 +60,16 @@ class OccupancyCollector:
     ) -> None:
         if not targets.size:
             return
+        if np.any(durations <= 0):
+            # scan_stream's Definition-4 convention (arr - dep) gives direct
+            # hops duration 0; occupancy rates are only defined on series
+            # durations (arr - dep + 1 >= 1).  Fail loudly instead of
+            # silently emitting inf.
+            raise ValidationError(
+                "minimal trip with non-positive duration: occupancy rates "
+                "require series durations (arr - dep + 1); feed this "
+                "collector from scan_series, not scan_stream"
+            )
         occ = hops / durations
         self._num_trips += occ.size
         if self._exact:
@@ -71,6 +81,39 @@ class OccupancyCollector:
         if interior.size:
             idx = np.minimum((interior * self._bins).astype(np.int64), self._bins - 1)
             np.add.at(self._counts, idx, 1)
+
+    def merge(self, other: "OccupancyCollector") -> "OccupancyCollector":
+        """Absorb another collector's mass (in-place; returns ``self``).
+
+        The inverse of sharding a scan: collectors fed from disjoint
+        target shards of the same series sum back — histogram counts and
+        the exact atom at 1 are integer tallies, exact-mode chunks are
+        disjoint trip subsets — to precisely the accumulator an
+        unrestricted scan would have produced, so the merged
+        :meth:`distribution` is bit-identical to the unsharded one.
+        """
+        if not isinstance(other, OccupancyCollector):
+            raise ValidationError(
+                f"cannot merge OccupancyCollector with {type(other).__name__}"
+            )
+        if self._exact != other._exact:
+            raise ValidationError(
+                "cannot merge exact and histogram occupancy collectors"
+            )
+        if self._exact:
+            # Exact mode accumulates chunks only; bin counts are unused
+            # (and may legitimately differ in size between collectors).
+            self._chunks.extend(other._chunks)
+        else:
+            if self._bins != other._bins:
+                raise ValidationError(
+                    f"cannot merge histograms with {self._bins} and "
+                    f"{other._bins} bins"
+                )
+            self._counts += other._counts
+            self._ones += other._ones
+        self._num_trips += other._num_trips
+        return self
 
     def distribution(self) -> OccupancyDistribution:
         """Assemble the collected rates into a distribution."""
@@ -96,6 +139,27 @@ def series_occupancy(
     collector = OccupancyCollector(bins=bins, exact=exact)
     scan_series(series, collector, include_self=include_self)
     return collector.distribution(), collector.num_trips
+
+
+def series_occupancy_shard(
+    series: GraphSeries,
+    targets: np.ndarray,
+    *,
+    bins: int = 4096,
+    exact: bool = False,
+    include_self: bool = False,
+) -> OccupancyCollector:
+    """Collect occupancy rates of the minimal trips arriving in ``targets``.
+
+    One shard of :func:`series_occupancy`: disjoint target subsets
+    covering the node set produce collectors that :meth:`merge
+    <OccupancyCollector.merge>` back into exactly the full accumulator.
+    Returns the raw collector (not a distribution) so partial results
+    stay mergeable.
+    """
+    collector = OccupancyCollector(bins=bins, exact=exact)
+    scan_series(series, collector, include_self=include_self, targets=targets)
+    return collector
 
 
 def stream_occupancy_at(

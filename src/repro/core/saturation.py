@@ -102,6 +102,7 @@ def occupancy_method(
     refine_points: int = 8,
     origin: float | None = None,
     engine=None,
+    shards: int | str | None = None,
 ) -> SaturationResult:
     """Determine the saturation scale γ of a link stream.
 
@@ -141,6 +142,13 @@ def occupancy_method(
         process default (configurable via ``REPRO_ENGINE`` /
         ``REPRO_CACHE_DIR``).  Every backend returns bit-identical
         results; cached sweep points are reused, never recomputed.
+    shards:
+        Within-Δ shard policy: ``"auto"`` (default — split a Δ across
+        idle workers only when the plan is smaller than the worker
+        pool, i.e. the coarse-Δ tail and refinement rounds), ``1`` to
+        never shard, or a fixed per-Δ shard count.  Sharded results are
+        bit-identical to unsharded ones (``REPRO_SHARDS`` / CLI
+        ``--shards`` set the process default).
 
     Returns
     -------
@@ -164,7 +172,7 @@ def occupancy_method(
 
     with engine_scope(engine) as eng:
         points = _evaluate_deltas(
-            stream, deltas, methods, bins, exact, include_self, origin, eng
+            stream, deltas, methods, bins, exact, include_self, origin, eng, shards
         )
         for _ in range(refine_rounds):
             current = np.array([p.delta for p in points])
@@ -175,7 +183,8 @@ def occupancy_method(
                 break
             points.extend(
                 _evaluate_deltas(
-                    stream, extra, methods, bins, exact, include_self, origin, eng
+                    stream, extra, methods, bins, exact, include_self, origin,
+                    eng, shards,
                 )
             )
             points.sort(key=lambda p: p.delta)
@@ -194,6 +203,7 @@ def _evaluate_deltas(
     include_self: bool,
     origin: float | None,
     engine,
+    shards: int | str | None = None,
 ) -> list[SweepPoint]:
     tasks = plan_occupancy_sweep(
         deltas,
@@ -203,4 +213,4 @@ def _evaluate_deltas(
         include_self=include_self,
         origin=origin,
     )
-    return engine.run(stream, tasks)
+    return engine.run(stream, tasks, shards=shards)

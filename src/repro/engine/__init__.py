@@ -8,7 +8,10 @@ package turns that loop into an explicit plan of
 content-addressed :class:`~repro.engine.cache.SweepCache`:
 
 * :mod:`repro.engine.tasks` — per-Δ task records (occupancy and
-  classical sweeps) with evaluation and cache-key logic;
+  classical sweeps) with evaluation and cache-key logic, plus the
+  within-Δ shard planner (:class:`OccupancyShardTask` splits one huge
+  evaluation into destination-partition shards that merge back
+  bit-identically);
 * :mod:`repro.engine.backends` — serial (default), thread-pool, and
   chunked process-pool execution, all bit-identical;
 * :mod:`repro.engine.cache` — layered memory/disk result store keyed on
@@ -43,29 +46,40 @@ from repro.engine.cache import (
 )
 from repro.engine.progress import NULL_PROGRESS, ProgressListener, StderrProgress
 from repro.engine.scheduler import (
+    AUTO_SHARDS,
     CACHE_DIR_ENV_VAR,
     ENGINE_ENV_VAR,
+    SHARDS_ENV_VAR,
     SweepEngine,
     default_engine,
     engine_from_env,
     engine_scope,
+    normalize_shards,
     resolve_engine,
     set_default_engine,
 )
 from repro.engine.tasks import (
     ClassicalTask,
     DeltaTask,
+    OccupancyShardResult,
+    OccupancyShardTask,
     OccupancyTask,
+    ShardPlan,
     plan_classical_sweep,
     plan_occupancy_sweep,
+    plan_shard_expansion,
 )
 
 __all__ = [
     "DeltaTask",
     "OccupancyTask",
+    "OccupancyShardTask",
+    "OccupancyShardResult",
+    "ShardPlan",
     "ClassicalTask",
     "plan_occupancy_sweep",
     "plan_classical_sweep",
+    "plan_shard_expansion",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
@@ -83,8 +97,11 @@ __all__ = [
     "resolve_engine",
     "engine_scope",
     "engine_from_env",
+    "normalize_shards",
+    "AUTO_SHARDS",
     "ENGINE_ENV_VAR",
     "CACHE_DIR_ENV_VAR",
+    "SHARDS_ENV_VAR",
     "ProgressListener",
     "StderrProgress",
     "NULL_PROGRESS",

@@ -37,10 +37,26 @@ def _default_jobs() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+def _task_label(task: DeltaTask) -> str:
+    """Human identity of a task for error messages: kind plus Δ."""
+    return f"{task.kind} task at delta={task.delta:g}"
+
+
+def _wrap_task_failure(task: DeltaTask, exc: BaseException) -> EngineError:
+    """An :class:`EngineError` naming the failing task.  Callers raise it
+    with ``from exc`` so the traceback keeps the numeric frames."""
+    return EngineError(f"{_task_label(task)} failed: {exc}")
+
+
 class ExecutionBackend(ABC):
     """Executes a plan of independent tasks, preserving task order."""
 
     name: str = "abstract"
+
+    @property
+    def workers(self) -> int:
+        """How many tasks can make progress at once (1 when in-process)."""
+        return 1
 
     @abstractmethod
     def run(
@@ -94,6 +110,10 @@ class _PooledBackend(ExecutionBackend):
     def jobs(self) -> int:
         return self._jobs
 
+    @property
+    def workers(self) -> int:
+        return self._jobs
+
     @abstractmethod
     def _make_pool(self) -> Executor: ...
 
@@ -123,20 +143,63 @@ class ThreadBackend(_PooledBackend):
 
     def run(self, stream, tasks, *, tick=None):
         if len(tasks) <= 1:
-            return SerialBackend().run(stream, tasks, tick=tick)
+            return _run_serial_wrapped(stream, tasks, tick)
         pool = self._ensure_pool()
         futures = [pool.submit(task.evaluate, stream) for task in tasks]
         results = []
-        for future in futures:
-            results.append(future.result())
+        for i, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                # Don't leave the rest of the plan burning CPU on a sweep
+                # that already failed (or was interrupted), and don't lose
+                # which Δ failed.
+                _cancel_pending(futures[i + 1 :])
+                if isinstance(exc, EngineError) or not isinstance(exc, Exception):
+                    raise
+                raise _wrap_task_failure(tasks[i], exc) from exc
             if tick is not None:
                 tick(1)
         return results
 
 
+def _cancel_pending(futures) -> None:
+    """Best-effort cancellation of not-yet-started futures."""
+    for future in futures:
+        future.cancel()
+
+
+def _run_serial_wrapped(stream, tasks, tick) -> list:
+    """Serial fallback for pooled backends' tiny plans, keeping their
+    error contract: failures are wrapped with the task identity."""
+    results = []
+    for task in tasks:
+        try:
+            results.append(task.evaluate(stream))
+        except EngineError:
+            raise
+        except Exception as exc:
+            raise _wrap_task_failure(task, exc) from exc
+        if tick is not None:
+            tick(1)
+    return results
+
+
 def _evaluate_chunk(stream: LinkStream, tasks: Sequence[DeltaTask]) -> list:
-    """Worker entry point: evaluate one chunk of tasks on one stream."""
-    return [task.evaluate(stream) for task in tasks]
+    """Worker entry point: evaluate one chunk of tasks on one stream.
+
+    Failures are wrapped here, worker-side, so the task identity (kind
+    and Δ) survives the pickling boundary back to the parent process.
+    """
+    results = []
+    for task in tasks:
+        try:
+            results.append(task.evaluate(stream))
+        except EngineError:
+            raise
+        except Exception as exc:
+            raise _wrap_task_failure(task, exc) from exc
+    return results
 
 
 class ProcessBackend(_PooledBackend):
@@ -171,14 +234,20 @@ class ProcessBackend(_PooledBackend):
 
     def run(self, stream, tasks, *, tick=None):
         if len(tasks) <= 1:
-            return SerialBackend().run(stream, tasks, tick=tick)
+            return _run_serial_wrapped(stream, tasks, tick)
         pool = self._ensure_pool()
         futures = [
             pool.submit(_evaluate_chunk, stream, chunk) for chunk in self._chunks(tasks)
         ]
         results = []
-        for future in futures:
-            chunk_results = future.result()
+        for i, future in enumerate(futures):
+            try:
+                chunk_results = future.result()
+            except BaseException:
+                # The worker already named the failing task (see
+                # _evaluate_chunk); just stop the remaining chunks.
+                _cancel_pending(futures[i + 1 :])
+                raise
             results.extend(chunk_results)
             if tick is not None:
                 tick(len(chunk_results))
@@ -206,6 +275,11 @@ def get_backend(
     instance (returned as-is).  ``None`` means the serial default.  An
     explicit ``jobs`` argument wins over a ``:jobs`` suffix in the spec
     (so a CLI ``--jobs`` overrides a ``REPRO_ENGINE=thread:16`` default).
+
+    The serial backend runs in the calling thread and has no workers, so
+    any worker count attached to it (``"serial:8"``, or ``jobs=`` with a
+    serial spec) is a configuration mistake and raises
+    :class:`EngineError` rather than being silently dropped.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -226,5 +300,11 @@ def get_backend(
         )
     cls = _BACKENDS[name]
     if cls is SerialBackend:
+        if jobs is not None:
+            raise EngineError(
+                "the serial backend runs in-process and has no workers; "
+                f"drop the worker count (got jobs={jobs}) or pick "
+                "'thread' or 'process'"
+            )
         return SerialBackend()
     return cls(jobs)

@@ -14,7 +14,20 @@ passed explicitly.  It is configured from the environment on first use:
 
 * ``REPRO_ENGINE`` — backend spec, e.g. ``serial`` (default), ``thread``,
   ``process``, or ``thread:8`` to pin the worker count;
-* ``REPRO_CACHE_DIR`` — adds a persistent on-disk result store.
+* ``REPRO_CACHE_DIR`` — adds a persistent on-disk result store;
+* ``REPRO_SHARDS`` — within-Δ sharding: ``auto`` (the default heuristic),
+  ``1`` (never shard), or a fixed shard count per Δ.
+
+**Within-Δ sharding.**  Grid parallelism stops helping when the plan has
+fewer tasks than the backend has workers — the coarse-Δ tail of a sweep
+and refinement rounds, where one huge evaluation pins one worker while
+the rest idle.  For those plans the engine splits each shardable task
+into destination-partition shards (see
+:class:`~repro.engine.tasks.OccupancyShardTask`), runs the shards like
+any other tasks (each with its own shard-spec cache key), and merges
+them back into one result per Δ — bit-identical to the unsharded
+evaluation on every backend.  The merged result is also stored under the
+original task's key, so sharded and unsharded runs warm each other.
 
 An in-memory cache is always on for the default engine: results are
 immutable and deterministic, so reuse is free correctness-wise and turns
@@ -24,6 +37,7 @@ into lookups.
 
 from __future__ import annotations
 
+import math
 import os
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
@@ -31,13 +45,42 @@ from contextlib import contextmanager
 from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.cache import MISS, SweepCache
 from repro.engine.progress import NULL_PROGRESS, ProgressListener
-from repro.engine.tasks import DeltaTask
+from repro.engine.tasks import DeltaTask, clear_series_memo, plan_shard_expansion
 from repro.linkstream.stream import LinkStream
+from repro.utils.errors import EngineError
 
 #: Environment variable selecting the default engine's backend.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 #: Environment variable adding a disk store to the default engine.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+#: Environment variable selecting the default engine's shard policy.
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+#: Shard policy meaning "apply the heuristic" (shard only plans with
+#: fewer tasks than the backend has workers).
+AUTO_SHARDS = "auto"
+
+
+def normalize_shards(shards: int | str | None) -> int | str:
+    """Validate a shard policy: ``None``/``"auto"`` -> :data:`AUTO_SHARDS`,
+    a positive integer (or its string form) -> that fixed count."""
+    if shards is None:
+        return AUTO_SHARDS
+    if isinstance(shards, str):
+        text = shards.strip().lower()
+        if text == AUTO_SHARDS:
+            return AUTO_SHARDS
+        try:
+            shards = int(text)
+        except ValueError:
+            raise EngineError(
+                f"bad shard policy {text!r}: expected 'auto' or a positive integer"
+            ) from None
+    if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+        raise EngineError(
+            f"bad shard policy {shards!r}: expected 'auto' or a positive integer"
+        )
+    return shards
 
 
 class SweepEngine:
@@ -55,6 +98,12 @@ class SweepEngine:
         Worker count when ``backend`` is given by name.
     progress:
         A :class:`ProgressListener` notified as tasks complete.
+    shards:
+        Within-Δ shard policy: ``"auto"`` (the default — shard a task
+        into ``ceil(workers / tasks)`` pieces only when the plan has
+        fewer tasks than the backend has workers), ``1`` to never shard,
+        or a fixed per-task shard count.  Whatever the policy, results
+        are bit-identical to the unsharded serial evaluation.
     """
 
     def __init__(
@@ -64,24 +113,128 @@ class SweepEngine:
         cache: SweepCache | None = None,
         jobs: int | None = None,
         progress: ProgressListener | None = None,
+        shards: int | str | None = None,
     ) -> None:
         self.backend = get_backend(backend, jobs=jobs)
         self.cache = cache
         self.progress = progress if progress is not None else NULL_PROGRESS
+        self.shards = normalize_shards(shards)
 
-    def run(self, stream: LinkStream, tasks: Sequence[DeltaTask]) -> list:
+    def _shard_count(
+        self, num_tasks: int, shards: int | str | None, stream: LinkStream
+    ) -> int:
+        """Shards per task for this run (1 = plain execution).
+
+        The count never exceeds the stream's node count — a target
+        partition cannot have more non-empty shards than nodes.
+        """
+        policy = self.shards if shards is None else normalize_shards(shards)
+        if policy == AUTO_SHARDS:
+            workers = self.backend.workers
+            if num_tasks == 0 or num_tasks >= workers:
+                return 1
+            count = math.ceil(workers / num_tasks)
+        else:
+            count = policy
+        return max(1, min(count, stream.num_nodes))
+
+    def run(
+        self,
+        stream: LinkStream,
+        tasks: Sequence[DeltaTask],
+        *,
+        shards: int | str | None = None,
+    ) -> list:
         """Evaluate every task on ``stream``; ``results[i]`` matches
-        ``tasks[i]``.  Cached results are never recomputed."""
+        ``tasks[i]``.  Cached results are never recomputed.
+
+        ``shards`` overrides the engine's shard policy for this run (see
+        the class docstring); sharded or not, the returned results are
+        bit-identical.
+        """
         tasks = list(tasks)
+        num_shards = self._shard_count(len(tasks), shards, stream)
+        if num_shards <= 1:
+            return self._execute(stream, tasks)
+        return self._run_sharded(stream, tasks, num_shards)
+
+    def _run_sharded(
+        self, stream: LinkStream, tasks: list[DeltaTask], num_shards: int
+    ) -> list:
+        """Shard-expand the plan, execute, and merge one result per task.
+
+        Whole-task cache hits are honoured before any shard work; fresh
+        shard results are cached under their shard-spec keys by
+        :meth:`_execute` (layout-stable reuse: a later run with the same
+        shard spec hits them even if the merged point was evicted);
+        every merged result is stored under the original task's key so
+        later unsharded runs hit directly.  Non-shardable tasks ride
+        through :meth:`_execute` untouched — probed and stored once,
+        under their own keys.
+
+        Progress totals count executed *subtasks* plus whole-point cache
+        hits: a 2-Δ plan with one Δ cached and one sharded 4 ways
+        reports 5 units, 1 of them cached.
+        """
         total = len(tasks)
+        plan = plan_shard_expansion(tasks, num_shards)
+        results: list = [MISS] * total
+        keys: list[str | None] = [None] * total
+        if self.cache is not None:
+            fingerprint = stream.fingerprint()
+            for i, task in enumerate(tasks):
+                if plan.sharded[i]:
+                    keys[i] = task.cache_key(fingerprint)
+                    results[i] = self.cache.get(keys[i])
+        pending = [i for i in range(total) if results[i] is MISS]
+        hits = total - len(pending)
+
+        if not pending:
+            self.progress.on_start(total)
+            self.progress.on_advance(total, total, cached=True)
+            self.progress.on_finish(total)
+            return results
+
+        subtasks: list[DeltaTask] = []
+        spans: dict[int, tuple[int, int]] = {}
+        for i in pending:
+            start, count = plan.groups[i]
+            spans[i] = (len(subtasks), count)
+            subtasks.extend(plan.subtasks[start : start + count])
+        try:
+            sub_results = self._execute(stream, subtasks, base_done=hits)
+
+            for i in pending:
+                start, count = spans[i]
+                chunk = sub_results[start : start + count]
+                if plan.sharded[i]:
+                    results[i] = tasks[i].merge_shards(chunk)
+                    if self.cache is not None:
+                        self.cache.put(keys[i], results[i])
+                else:
+                    results[i] = chunk[0]
+        finally:
+            clear_series_memo()
+        return results
+
+    def _execute(
+        self, stream: LinkStream, tasks: list[DeltaTask], *, base_done: int = 0
+    ) -> list:
+        """The cache-then-backend pipeline for one flat plan.
+
+        ``base_done`` counts work units already satisfied by the caller
+        (whole-point cache hits on the sharded path); they are folded
+        into the progress totals as cached units.
+        """
+        total = len(tasks) + base_done
         self.progress.on_start(total)
         if not tasks:
             self.progress.on_finish(total)
             return []
 
-        results: list = [MISS] * total
+        results: list = [MISS] * len(tasks)
         pending: list[int] = []
-        keys: list[str | None] = [None] * total
+        keys: list[str | None] = [None] * len(tasks)
         if self.cache is not None:
             fingerprint = stream.fingerprint()
             for i, task in enumerate(tasks):
@@ -90,7 +243,7 @@ class SweepEngine:
                 if results[i] is MISS:
                     pending.append(i)
         else:
-            pending = list(range(total))
+            pending = list(range(len(tasks)))
 
         done = total - len(pending)
         if done:
@@ -125,16 +278,21 @@ class SweepEngine:
         self.close()
 
     def __repr__(self) -> str:
-        return f"SweepEngine(backend={self.backend!r}, cache={self.cache!r})"
+        return (
+            f"SweepEngine(backend={self.backend!r}, cache={self.cache!r}, "
+            f"shards={self.shards!r})"
+        )
 
 
 def engine_from_env(environ=None) -> SweepEngine:
-    """Build an engine from ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR``."""
+    """Build an engine from ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` /
+    ``REPRO_SHARDS``."""
     env = os.environ if environ is None else environ
     cache_dir = env.get(CACHE_DIR_ENV_VAR) or None
     return SweepEngine(
         env.get(ENGINE_ENV_VAR) or None,
         cache=SweepCache.build(disk_dir=cache_dir),
+        shards=env.get(SHARDS_ENV_VAR) or None,
     )
 
 

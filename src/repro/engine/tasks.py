@@ -15,18 +15,27 @@ processes; the stream itself is shipped separately (once per chunk).
 from __future__ import annotations
 
 import hashlib
+import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import reduce
 from typing import Any
 
 import numpy as np
 
-from repro.core.occupancy import stream_occupancy_at
+from repro.core.occupancy import (
+    OccupancyCollector,
+    series_occupancy_shard,
+    stream_occupancy_at,
+)
 from repro.core.uniformity import score_distribution
 from repro.graphseries.aggregation import aggregate
 from repro.graphseries.metrics import series_metrics
 from repro.linkstream.stream import LinkStream
 from repro.temporal.reachability import scan_series
+from repro.utils.errors import EngineError
 
 #: Version of the evaluation numerics baked into every cache key.  Bump
 #: whenever any code a task's ``evaluate`` depends on changes results
@@ -62,6 +71,16 @@ class DeltaTask(ABC):
         digest.update(stream_fingerprint.encode())
         digest.update(payload.encode())
         return digest.hexdigest()
+
+    def shard(self, num_shards: int) -> "list[DeltaTask] | None":
+        """Split this task into ``num_shards`` independent subtasks, or
+        ``None`` when the evaluation cannot shard (the default)."""
+        return None
+
+    def merge_shards(self, shards: Sequence[Any]) -> Any:
+        """Reassemble the results of :meth:`shard` subtasks into the
+        result :meth:`evaluate` would have returned."""
+        raise EngineError(f"{self.kind!r} tasks do not shard")
 
 
 @dataclass(frozen=True)
@@ -109,6 +128,215 @@ class OccupancyTask(DeltaTask):
             num_trips=num_trips,
             distribution=distribution,
             scores=score_distribution(distribution, self.methods),
+        )
+
+    def shard(self, num_shards: int) -> "list[DeltaTask] | None":
+        """Split the evaluation into ``num_shards`` target-partition scans.
+
+        Shard ``i`` owns destination nodes ``i, i + s, i + 2s, ...`` (a
+        strided partition, so activity clustered on low or high node ids
+        still spreads across workers).  Merging the shard collectors and
+        scoring once reproduces :meth:`evaluate` bit-for-bit.
+        """
+        if num_shards < 1:
+            raise EngineError("num_shards must be a positive integer")
+        if num_shards == 1:
+            return None
+        return [
+            OccupancyShardTask(
+                delta=self.delta,
+                bins=self.bins,
+                exact=self.exact,
+                include_self=self.include_self,
+                origin=self.origin,
+                shard_index=index,
+                num_shards=num_shards,
+            )
+            for index in range(num_shards)
+        ]
+
+    def merge_shards(self, shards: Sequence["OccupancyShardResult"]):
+        """One :class:`SweepPoint` from a full set of shard results."""
+        from repro.core.saturation import SweepPoint
+
+        if not shards:
+            raise EngineError("cannot merge an empty shard set")
+        indices = sorted(shard.shard_index for shard in shards)
+        counts = {shard.num_shards for shard in shards}
+        deltas = {shard.delta for shard in shards}
+        if (
+            len(counts) != 1
+            or deltas != {float(self.delta)}
+            or indices != list(range(counts.pop()))
+            or len(indices) != len(shards)
+        ):
+            raise EngineError(
+                f"shard results do not cover delta={self.delta!r}: "
+                f"got indices {indices}"
+            )
+        ordered = sorted(shards, key=lambda shard: shard.shard_index)
+        # Fold into a fresh accumulator: merge() is in-place and shard
+        # results may live in the sweep cache, which must stay pristine.
+        collector = reduce(
+            lambda acc, shard: acc.merge(shard.collector),
+            ordered,
+            OccupancyCollector(bins=self.bins, exact=self.exact),
+        )
+        distribution = collector.distribution()
+        return SweepPoint(
+            delta=float(self.delta),
+            num_windows=ordered[0].num_windows,
+            num_nonempty_windows=ordered[0].num_nonempty_windows,
+            num_trips=collector.num_trips,
+            distribution=distribution,
+            scores=score_distribution(distribution, self.methods),
+        )
+
+
+#: Small per-process memo of aggregated series, so the shards of one Δ
+#: running in the same process (thread backend, or process-pool workers
+#: that receive several shards of a chunk) aggregate the stream once
+#: instead of once per shard.  Keyed on content, so it can never serve a
+#: stale series; bounded, so a long sweep cannot hoard memory.
+_SERIES_MEMO: OrderedDict[tuple, Any] = OrderedDict()
+#: Keys currently being aggregated, so concurrent shards of one Δ wait
+#: for the first thread's result instead of all recomputing it.
+_SERIES_IN_FLIGHT: dict[tuple, threading.Event] = {}
+_SERIES_MEMO_LOCK = threading.Lock()
+_SERIES_MEMO_MAX = 4
+
+
+def clear_series_memo() -> None:
+    """Drop all memoized aggregated series (in this process).
+
+    The scheduler calls this after a sharded run has merged, so large
+    aggregated series do not stay pinned in long-lived processes once
+    the sweep that needed them is over.  (Pool worker processes keep
+    their own bounded memos; those die with the pool.)
+    """
+    with _SERIES_MEMO_LOCK:
+        _SERIES_MEMO.clear()
+
+
+def _aggregate_memoized(stream: LinkStream, delta: float, origin: float | None):
+    key = (
+        stream.fingerprint(),
+        repr(float(delta)),
+        None if origin is None else repr(float(origin)),
+    )
+    with _SERIES_MEMO_LOCK:
+        if key in _SERIES_MEMO:
+            _SERIES_MEMO.move_to_end(key)
+            return _SERIES_MEMO[key]
+        pending = _SERIES_IN_FLIGHT.get(key)
+        if pending is None:
+            _SERIES_IN_FLIGHT[key] = threading.Event()
+    if pending is not None:
+        pending.wait()
+        with _SERIES_MEMO_LOCK:
+            series = _SERIES_MEMO.get(key)
+        if series is not None:
+            return series
+        # The computing thread failed or the entry was evicted under
+        # memory pressure; fall through and aggregate locally.
+        return aggregate(stream, float(delta), origin=origin)
+    try:
+        series = aggregate(stream, float(delta), origin=origin)
+        with _SERIES_MEMO_LOCK:
+            _SERIES_MEMO[key] = series
+            _SERIES_MEMO.move_to_end(key)
+            while len(_SERIES_MEMO) > _SERIES_MEMO_MAX:
+                _SERIES_MEMO.popitem(last=False)
+        return series
+    finally:
+        with _SERIES_MEMO_LOCK:
+            event = _SERIES_IN_FLIGHT.pop(key, None)
+        if event is not None:
+            event.set()
+
+
+@dataclass(frozen=True)
+class OccupancyShardResult:
+    """Partial occupancy evaluation: the trips arriving in one shard.
+
+    Holds the raw (mergeable) collector rather than a distribution, plus
+    the series geometry — identical across shards of one Δ — needed to
+    assemble the final :class:`~repro.core.saturation.SweepPoint`.
+    """
+
+    delta: float
+    shard_index: int
+    num_shards: int
+    num_windows: int
+    num_nonempty_windows: int
+    collector: OccupancyCollector
+
+
+@dataclass(frozen=True)
+class OccupancyShardTask(DeltaTask):
+    """One target-partition shard of an :class:`OccupancyTask`.
+
+    Shard ``shard_index`` of ``num_shards`` aggregates at Δ like the full
+    task but scans only the minimal trips *arriving* at nodes
+    ``shard_index + k * num_shards`` (the arrival-matrix columns are
+    independent dynamic programs, so the restricted scan does
+    proportionally less work and its trips are exactly the full scan's
+    trips with destination in the shard).  The shard spec is part of the
+    cache key, so shard results never collide with full sweep points or
+    with other shard layouts.  Scoring ``methods`` are deliberately not
+    part of a shard: the result is a raw collector, scoring happens at
+    merge time, so sweeps differing only in methods share shard entries.
+    """
+
+    bins: int = 4096
+    exact: bool = False
+    include_self: bool = False
+    origin: float | None = None
+    shard_index: int = 0
+    num_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise EngineError("num_shards must be a positive integer")
+        if not 0 <= self.shard_index < self.num_shards:
+            raise EngineError(
+                f"shard_index {self.shard_index} out of range "
+                f"[0, {self.num_shards})"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "occupancy-shard"
+
+    def _token(self) -> tuple:
+        return (
+            self.bins,
+            self.exact,
+            self.include_self,
+            None if self.origin is None else repr(float(self.origin)),
+            self.shard_index,
+            self.num_shards,
+        )
+
+    def evaluate(self, stream: LinkStream) -> OccupancyShardResult:
+        series = _aggregate_memoized(stream, float(self.delta), self.origin)
+        targets = np.arange(
+            self.shard_index, series.num_nodes, self.num_shards, dtype=np.int64
+        )
+        collector = series_occupancy_shard(
+            series,
+            targets,
+            bins=self.bins,
+            exact=self.exact,
+            include_self=self.include_self,
+        )
+        return OccupancyShardResult(
+            delta=float(self.delta),
+            shard_index=self.shard_index,
+            num_shards=self.num_shards,
+            num_windows=series.num_steps,
+            num_nonempty_windows=int(series.nonempty_steps().size),
+            collector=collector,
         )
 
 
@@ -161,6 +389,46 @@ def plan_occupancy_sweep(
         )
         for delta in np.asarray(deltas, dtype=np.float64)
     ]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A sweep plan rewritten for within-Δ sharding.
+
+    ``subtasks`` is the flat execution plan; ``groups[i]`` maps original
+    task ``i`` to its ``(start, count)`` slice of ``subtasks`` (count 1
+    and the original task itself when the task does not shard, flagged
+    by ``sharded[i]``).
+    """
+
+    subtasks: list[DeltaTask]
+    groups: list[tuple[int, int]]
+    sharded: list[bool]
+
+
+def plan_shard_expansion(tasks: Sequence[DeltaTask], num_shards: int) -> ShardPlan:
+    """Rewrite a plan so each shardable task becomes ``num_shards`` subtasks.
+
+    Tasks that do not shard (``task.shard`` returns ``None``) ride along
+    unchanged, so mixed plans stay valid.
+    """
+    if num_shards < 1:
+        raise EngineError("num_shards must be a positive integer")
+    subtasks: list[DeltaTask] = []
+    groups: list[tuple[int, int]] = []
+    sharded: list[bool] = []
+    for task in tasks:
+        pieces = task.shard(num_shards) if num_shards > 1 else None
+        start = len(subtasks)
+        if pieces:
+            subtasks.extend(pieces)
+            groups.append((start, len(pieces)))
+            sharded.append(True)
+        else:
+            subtasks.append(task)
+            groups.append((start, 1))
+            sharded.append(False)
+    return ShardPlan(subtasks=subtasks, groups=groups, sharded=sharded)
 
 
 def plan_classical_sweep(

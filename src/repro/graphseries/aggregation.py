@@ -207,7 +207,14 @@ def aggregate_adaptive(
     already collected (maturity = density convergence).
 
     Returns the variable-window series and the window boundary times
-    (length ``num_steps + 1``).
+    (length ``num_steps + 1``).  Windows are half-open: window ``k``
+    covers ``[boundaries[k], boundaries[k + 1])``, so the terminal
+    boundary must lie strictly after the last event.  It is placed one
+    timestamp :meth:`~repro.linkstream.stream.LinkStream.resolution`
+    beyond ``t_max`` — not a hard-coded full second, which would be
+    wildly off for float-time streams with sub-second resolution (for a
+    degenerate stream with a single distinct timestamp, where no
+    resolution exists, it falls back to ``t_max + 1``).
     """
     if not stream.num_events:
         raise AggregationError("cannot aggregate an empty stream")
@@ -246,7 +253,13 @@ def aggregate_adaptive(
             seen.add(key)
             recent_new += 1
         steps[i] = current_step
-    boundaries.append(float(stream.t_max) + 1.0)
+    # Close the last half-open window just past the final event, at the
+    # stream's own time scale rather than an arbitrary full second.
+    if stream.distinct_timestamps().size >= 2:
+        terminal_pad = stream.resolution()
+    else:
+        terminal_pad = 1.0
+    boundaries.append(float(stream.t_max) + terminal_pad)
     num_steps = current_step + 1
     dedup_steps, u, v = _dedup_rows(
         steps, stream.sources.copy(), stream.targets.copy(), num_nodes

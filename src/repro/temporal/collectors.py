@@ -62,6 +62,21 @@ class TripListCollector:
         self._hops.append(hops.copy())
         self._dur.append(durations.copy())
 
+    def merge(self, other: "TripListCollector") -> "TripListCollector":
+        """Absorb another collector's batches (in-place; returns ``self``).
+
+        Used to reassemble shard-restricted scans: each shard sees a
+        disjoint subset of the trips, so concatenating batch lists loses
+        nothing.  Batch order follows merge order, not global scan order.
+        """
+        self._u.extend(other._u)
+        self._v.extend(other._v)
+        self._dep.extend(other._dep)
+        self._arr.extend(other._arr)
+        self._hops.extend(other._hops)
+        self._dur.extend(other._dur)
+        return self
+
     def trips(self) -> TripSet:
         """Assemble the collected batches into one :class:`TripSet`."""
         if not self._u:
@@ -99,6 +114,13 @@ class CountingCollector:
         self.num_trips += targets.size
         self.max_hops = max(self.max_hops, int(hops.max()))
         self.max_duration = max(self.max_duration, float(durations.max()))
+
+    def merge(self, other: "CountingCollector") -> "CountingCollector":
+        """Absorb another collector's tallies (in-place; returns ``self``)."""
+        self.num_trips += other.num_trips
+        self.max_hops = max(self.max_hops, other.max_hops)
+        self.max_duration = max(self.max_duration, other.max_duration)
+        return self
 
 
 class ChainCollector:

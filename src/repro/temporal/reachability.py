@@ -28,6 +28,17 @@ staged from a pre-window copy, giving ``O(n · |E_k|)`` work per window —
 raw link stream by treating each distinct timestamp as a window and
 switching the duration convention from ``arr - dep + 1`` (window counts)
 to ``arr - dep`` (Definition 4).
+
+The recursion couples the *rows* of the state (row ``u`` reads the rows
+of ``u``'s out-neighbours) but never its columns: ``A[u, v]`` depends
+only on entries ``A[w, v]`` of the same column ``v``.  Each column — one
+trip destination — is therefore an independent dynamic program, which is
+what :func:`scan_series`'s ``targets=`` restriction exploits: the state
+shrinks to the chosen columns, per-window work drops proportionally, and
+the trips found are exactly the full scan's trips whose destination lies
+in the subset.  Disjoint target subsets covering ``V`` partition the
+trip set, so sharded scans merge back bit-identically (the engine's
+within-Δ sharding, :mod:`repro.engine.tasks`).
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ import numpy as np
 from repro.graphseries.series import GraphSeries
 from repro.linkstream.stream import LinkStream
 from repro.temporal.collectors import TripCollector
+from repro.utils.errors import ValidationError
 
 #: Sentinel for "unreachable" in integer arrival matrices.  Kept far from
 #: the dtype maximum so that ``+ 1`` arithmetic can never overflow.
@@ -89,12 +101,19 @@ def _process_group(
     include_self: bool,
     duration_extra,
     totals: dict | None,
+    col_of: np.ndarray | None = None,
+    cols: np.ndarray | None = None,
 ) -> int:
     """Apply one window's hops to the state; returns trips recorded.
 
     ``us``/``vs`` are directed hops (already expanded for undirected
     input), deduplicated within the group.  All continuation reads come
     from a pre-window stash so intra-window updates never chain.
+
+    When the scan is restricted to a destination subset, ``cols`` holds
+    the selected node ids (the state's column order) and ``col_of`` maps
+    node id -> column position (-1 for excluded nodes); both are ``None``
+    for a full scan.
     """
     order = np.argsort(us, kind="stable")
     us = us[order]
@@ -120,8 +139,14 @@ def _process_group(
             hop = np.where(cont_A == arr[None, :], cont_H, HOP_INF).min(axis=0) + 1
         # A direct hop arrives at the current window itself, always earlier
         # than any continuation (which departs at the *next* window).
-        arr[targets] = time_value
-        hop[targets] = 1
+        if col_of is None:
+            arr[targets] = time_value
+            hop[targets] = 1
+        else:
+            tpos = col_of[targets]
+            tpos = tpos[tpos >= 0]
+            arr[tpos] = time_value
+            hop[tpos] = 1
 
         u_pos = int(np.searchsorted(involved, u))
         old_A = stash_A[u_pos]
@@ -144,7 +169,12 @@ def _process_group(
 
         record = improved.copy()
         if not include_self:
-            record[u] = False
+            if col_of is None:
+                record[u] = False
+            else:
+                u_col = col_of[u]
+                if u_col >= 0:
+                    record[u_col] = False
         chosen = np.nonzero(record)[0]
         trips_recorded += chosen.size
         if collector is not None and chosen.size:
@@ -152,12 +182,37 @@ def _process_group(
             collector.record(
                 u,
                 time_value,
-                chosen,
+                chosen if cols is None else cols[chosen],
                 arrivals,
                 new_H[chosen],
                 arrivals - time_value + duration_extra,
             )
     return trips_recorded
+
+
+def _target_columns(
+    targets, num_nodes: int
+) -> tuple[np.ndarray | None, np.ndarray | None, int]:
+    """Validate a destination restriction; returns ``(cols, col_of, width)``.
+
+    ``cols`` is the sorted, deduplicated node-id subset (the state's
+    column order), ``col_of`` the node-id -> column-position map (-1 for
+    excluded nodes).  ``targets=None`` means the full node set, encoded
+    as ``(None, None, num_nodes)`` so the unrestricted scan pays nothing.
+    """
+    if targets is None:
+        return None, None, num_nodes
+    cols = np.unique(np.asarray(targets, dtype=np.int64))
+    if not cols.size:
+        raise ValidationError("target restriction must name at least one node")
+    if cols[0] < 0 or cols[-1] >= num_nodes:
+        raise ValidationError(
+            f"target node indices must lie in [0, {num_nodes}), "
+            f"got range [{cols[0]}, {cols[-1]}]"
+        )
+    col_of = np.full(num_nodes, -1, dtype=np.int64)
+    col_of[cols] = np.arange(cols.size, dtype=np.int64)
+    return cols, col_of, int(cols.size)
 
 
 def scan_series(
@@ -166,6 +221,7 @@ def scan_series(
     *,
     include_self: bool = False,
     compute_distances: bool = False,
+    targets: np.ndarray | None = None,
 ) -> ScanResult:
     """Run the backward scan over a graph series.
 
@@ -185,10 +241,25 @@ def scan_series(
         quantities plotted in Figure 2 bottom.  Costs nothing extra per
         window beyond the touched rows, plus a closed-form fill-in for
         runs of empty windows.
+    targets:
+        Optional node-id subset restricting the scan to minimal trips
+        *arriving* in the subset.  The arrival-matrix columns are
+        independent dynamic programs (see the module docstring), so the
+        restricted scan does proportionally less work and finds exactly
+        the full scan's trips with destination in ``targets`` — the
+        primitive behind within-Δ sharding.  Incompatible with
+        ``compute_distances`` (distance statistics are defined over all
+        pairs).
     """
     n = series.num_nodes
-    A = np.full((n, n), INT_INF, dtype=np.int64)
-    H = np.full((n, n), HOP_INF, dtype=np.int64)
+    if targets is not None and compute_distances:
+        raise ValidationError(
+            "distance statistics are defined over all node pairs; "
+            "drop the targets restriction or compute_distances"
+        )
+    cols, col_of, width = _target_columns(targets, n)
+    A = np.full((n, width), INT_INF, dtype=np.int64)
+    H = np.full((n, width), HOP_INF, dtype=np.int64)
     totals = {"S": 0, "C": 0, "SH": 0, "inf": INT_INF} if compute_distances else None
 
     dist_sum = 0.0
@@ -208,7 +279,7 @@ def scan_series(
         if not series.directed:
             u, v = _expand_undirected(u, v)
         num_trips += _process_group(
-            A, H, step, u, v, collector, include_self, 1, totals
+            A, H, step, u, v, collector, include_self, 1, totals, col_of, cols
         )
         last_processed = step
 

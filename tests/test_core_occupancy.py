@@ -20,6 +20,34 @@ class TestCollector:
         with pytest.raises(ValidationError):
             collector.distribution()
 
+    def test_zero_duration_trips_rejected(self):
+        """Regression: ``hops / durations`` used to emit ``inf`` silently.
+
+        ``scan_stream`` uses the Definition-4 duration convention
+        ``arr - dep``, so a direct hop has duration 0; feeding its trips
+        to an occupancy collector must fail loudly, in both modes.
+        """
+        from repro.temporal.reachability import scan_stream
+
+        stream = LinkStream([0, 1], [1, 2], [10, 20], num_nodes=3)
+        for kwargs in ({}, {"exact": True}):
+            collector = OccupancyCollector(**kwargs)
+            with pytest.raises(ValidationError, match="duration"):
+                scan_stream(stream, collector)
+
+    def test_zero_duration_batch_rejected_directly(self):
+        collector = OccupancyCollector()
+        with pytest.raises(ValidationError, match="duration"):
+            collector.record(
+                0,
+                0.0,
+                np.array([1, 2]),
+                np.array([0.0, 5.0]),
+                np.array([1, 2]),
+                np.array([0.0, 5.0]),  # direct hop: arr - dep == 0
+            )
+        assert collector.num_trips == 0  # nothing was accumulated
+
     def test_exact_equals_histogram_for_coarse_values(self):
         """With few distinct occupancy values, fine histograms agree with
         exact collection on every statistic we use."""

@@ -12,9 +12,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from dataclasses import dataclass, field
+
 from repro.core import classical_sweep, gamma_stability, occupancy_method
 from repro.core.occupancy import stream_occupancy_at
 from repro.engine import (
+    DeltaTask,
     MISS,
     DiskStore,
     MemoryStore,
@@ -78,6 +81,42 @@ def count_evaluations(monkeypatch):
     return counter
 
 
+@dataclass(frozen=True)
+class ExplodingTask(DeltaTask):
+    """Module-level (picklable) task whose evaluation always fails."""
+
+    @property
+    def kind(self) -> str:
+        return "exploding"
+
+    def _token(self) -> tuple:
+        return ()
+
+    def evaluate(self, stream):
+        raise ValueError("boom")
+
+
+@dataclass(frozen=True)
+class RecordingTask(DeltaTask):
+    """Task that logs its evaluation into a shared list (thread use only)."""
+
+    log: list = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return "recording"
+
+    def _token(self) -> tuple:
+        return ()
+
+    def evaluate(self, stream):
+        import time
+
+        self.log.append(self.delta)
+        time.sleep(0.05)  # give the consumer time to cancel the queue
+        return self.delta
+
+
 class TestBackendRegistry:
     def test_available_names(self):
         assert available_backends() == ["process", "serial", "thread"]
@@ -111,6 +150,66 @@ class TestBackendRegistry:
             get_backend("thread:many")
         with pytest.raises(EngineError):
             ThreadBackend(jobs=0)
+
+    def test_serial_with_worker_count_rejected(self):
+        """Regression: 'serial:8' used to silently discard the worker
+        count instead of flagging the misconfiguration."""
+        with pytest.raises(EngineError, match="serial"):
+            get_backend("serial:8")
+        with pytest.raises(EngineError, match="serial"):
+            get_backend("serial", jobs=4)
+        with pytest.raises(EngineError, match="serial"):
+            SweepEngine(jobs=4)  # default backend is serial
+        assert isinstance(get_backend("serial"), SerialBackend)
+
+
+class TestBackendFailures:
+    """Regression: a failing task used to leave the rest of the plan
+    running and surface a bare traceback with no task identity."""
+
+    def test_thread_failure_names_task_and_cancels_pending(self, synthetic):
+        backend = ThreadBackend(jobs=1)
+        log: list = []
+        tasks = [ExplodingTask(delta=1.5)] + [
+            RecordingTask(delta=float(i), log=log) for i in range(2, 10)
+        ]
+        with pytest.raises(EngineError, match=r"exploding task at delta=1\.5"):
+            backend.run(synthetic, tasks)
+        backend.close()  # waits for any straggler already started
+        # The failure cancelled the queue: at most the task the single
+        # worker had already grabbed ran, not the whole plan.
+        assert len(log) <= 1
+
+    def test_thread_failure_chains_original_exception(self, synthetic):
+        backend = ThreadBackend(jobs=2)
+        with pytest.raises(EngineError) as excinfo:
+            backend.run(synthetic, [ExplodingTask(delta=3.0), ExplodingTask(delta=4.0)])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        backend.close()
+
+    def test_process_failure_names_task(self, synthetic, process_backend):
+        tasks = [
+            OccupancyTask(delta=100.0),
+            ExplodingTask(delta=2.5),
+            OccupancyTask(delta=200.0),
+        ]
+        with pytest.raises(EngineError, match=r"exploding task at delta=2\.5"):
+            process_backend.run(synthetic, tasks)
+
+    def test_serial_failure_stays_transparent(self, synthetic):
+        # The serial backend is the debugging reference: no wrapping.
+        with pytest.raises(ValueError, match="boom"):
+            SerialBackend().run(synthetic, [ExplodingTask(delta=1.0)])
+
+    def test_single_task_plans_keep_the_error_contract(self, synthetic, process_backend):
+        # The serial fast path for tiny plans must wrap failures just
+        # like the pooled path (the coarse-delta tail is often 1 task).
+        backend = ThreadBackend(jobs=2)
+        with pytest.raises(EngineError, match=r"exploding task at delta=7"):
+            backend.run(synthetic, [ExplodingTask(delta=7.0)])
+        backend.close()
+        with pytest.raises(EngineError, match=r"exploding task at delta=8"):
+            process_backend.run(synthetic, [ExplodingTask(delta=8.0)])
 
 
 class TestBackendDeterminism:

@@ -130,3 +130,26 @@ class TestAdaptiveAggregation:
         stream = LinkStream(u, v, t, num_nodes=10)
         series, boundaries = aggregate_adaptive(stream, probe=50.0)
         assert series.num_steps >= 2
+
+    def test_terminal_boundary_uses_stream_resolution(self):
+        """Regression: the last half-open window used to close at
+        ``t_max + 1.0`` — a full second, absurd for a float-time stream
+        whose events are milliseconds apart."""
+        t = np.arange(400) * 0.004  # 4 ms resolution
+        u = np.arange(400) % 7
+        v = (u + 1) % 7
+        stream = LinkStream(u, v, t, num_nodes=7)
+        __, boundaries = aggregate_adaptive(stream, probe=0.1)
+        assert boundaries[-1] == pytest.approx(stream.t_max + 0.004)
+        assert boundaries[-1] > stream.t_max  # still half-open: event inside
+
+    def test_terminal_boundary_integer_stream_unchanged(self, medium_stream):
+        __, boundaries = aggregate_adaptive(medium_stream)
+        assert boundaries[-1] == medium_stream.t_max + medium_stream.resolution()
+
+    def test_single_timestamp_stream_falls_back_to_unit_pad(self):
+        # No resolution exists with one distinct timestamp; the terminal
+        # boundary degrades to the old one-unit pad.
+        stream = LinkStream([0, 1], [1, 2], [5, 5], num_nodes=3)
+        __, boundaries = aggregate_adaptive(stream, probe=1.0)
+        assert boundaries[-1] == 6.0
