@@ -54,7 +54,7 @@ def test_sharding_ablation(benchmark, capsys):
         rows = []
         with SweepEngine(cache=None) as serial_engine:
             start = perf_counter()
-            reference = serial_engine.run(stream, tasks)[0]
+            reference = serial_engine.run(stream, tasks)[0]["occupancy"]
             serial_time = perf_counter() - start
         rows.append(["serial (reference)", 1, serial_time])
 
@@ -70,14 +70,14 @@ def test_sharding_ablation(benchmark, capsys):
                 elapsed = []
                 for _ in range(2):
                     start = perf_counter()
-                    point = engine.run(stream, tasks)[0]
+                    point = engine.run(stream, tasks)[0]["occupancy"]
                     elapsed.append(perf_counter() - start)
                 timings[label] = min(elapsed)
             _assert_identical(point, reference)
             rows.append([f"process:{JOBS} {label}", shards, timings[label]])
 
         with SweepEngine(f"thread:{JOBS}", cache=None, shards=shard_count) as engine:
-            point = engine.run(stream, tasks)[0]
+            point = engine.run(stream, tasks)[0]["occupancy"]
         _assert_identical(point, reference)
 
         return rows, timings

@@ -34,9 +34,21 @@ def main() -> None:
     # *within* a Δ, partitioning trip destinations across workers and
     # merging the histograms exactly (shards="auto" is the default;
     # REPRO_SHARDS / --shards control it).  Sweep points are cached by
-    # stream content, so repeating this call (refinement rounds,
-    # stability re-runs) is free; REPRO_CACHE_DIR / --cache-dir makes
-    # the cache survive restarts.
+    # stream content — per measure — so repeating this call (refinement
+    # rounds, stability re-runs) is free; REPRO_CACHE_DIR / --cache-dir
+    # makes the cache survive restarts (REPRO_CACHE_MAX_BYTES caps it,
+    # `repro cache stats|clear` manages it).
+    #
+    # One scan, many measures: each Δ evaluation is a *fused* task —
+    # ask for companion measures and they ride the same aggregation and
+    # the same backward scan instead of re-sweeping the grid:
+    #
+    #     result = occupancy_method(stream, measures=("classical",))
+    #     result.companions["classical"]   # ClassicalPoints, one per Δ
+    #
+    # (equivalently: analyze_stream(stream, measures=("occupancy",
+    # "classical")), or `repro analyze --measures occupancy,classical`
+    # on the CLI — Figure 2 top and bottom from one scan per Δ).
     result = occupancy_method(stream, num_deltas=24)
     print(result.describe())
     print()

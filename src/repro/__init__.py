@@ -31,16 +31,41 @@ Packages
 ``repro.engine``
     Sweep-execution engine: task planning, pluggable backends, caching.
 
+One scan, many measures
+-----------------------
+Everything measured at one aggregation period — the occupancy
+distribution, the classical parameters, the snapshot metrics — derives
+from the same two artifacts: the series ``G_Δ`` and one backward
+reachability scan over it.  The engine therefore treats *measures* as
+first-class (:class:`~repro.engine.MeasureSpec`): each Δ of a sweep is
+one fused :class:`~repro.engine.AnalysisTask` that aggregates once,
+scans once with every requested measure's collector riding the same
+pass (distance statistics included — they are an ordinary mergeable
+accumulator, :class:`~repro.temporal.DistanceTotals`), and emits one
+result per measure.  ``analyze_stream(stream, measures=("occupancy",
+"classical"))`` — CLI: ``repro analyze --measures occupancy,classical``
+— computes Figure 2's top *and* bottom rows from exactly one
+aggregation and one scan per Δ, bit-identical to running the sweeps
+separately.  Results are cached per measure, so a warm occupancy cache
+plus a cold classical request re-scans each Δ exactly once, computing
+only the missing measure; aggregated series themselves are shared
+through :func:`~repro.graphseries.aggregate_cached`, a process-wide
+content-keyed memo warmed by sweeps and one-shot helpers alike.
+
 Engine & caching
 ----------------
 Every Δ sweep (the occupancy method, classical sweeps, stability and
 per-period analyses) runs through :mod:`repro.engine`: the grid becomes
-a plan of independent per-Δ tasks dispatched by a pluggable backend —
-serial (the default, bit-identical to a plain loop), a thread pool, or a
-chunked process pool — behind a content-addressed result cache keyed on
-the stream fingerprint plus the task parameters.  Re-running a sweep,
-refining a grid, or re-analyzing the same stream never recomputes a
-sweep point; with a disk cache the reuse survives across processes.
+a plan of independent fused per-Δ tasks dispatched by a pluggable
+backend — serial (the default, bit-identical to a plain loop), a thread
+pool, or a chunked process pool — behind a content-addressed result
+cache keyed on the stream fingerprint plus the Δ and per-measure
+parameters.  Re-running a sweep, refining a grid, or re-analyzing the
+same stream never recomputes a sweep point; with a disk cache the reuse
+survives across processes.  ``REPRO_CACHE_MAX_BYTES`` (or
+``DiskStore(max_bytes=...)``) caps the disk store — least-recently-used
+entries are swept once it outgrows the cap — and ``repro cache
+stats`` / ``repro cache clear`` manage it from the command line.
 
 Select the backend per call (``occupancy_method(stream,
 engine="process")``), via a configured engine (``SweepEngine("thread",
@@ -59,11 +84,11 @@ backward scans each pin a single worker.  The engine therefore also
 parallelizes *within* one Δ.  The scan's arrival-matrix columns are
 independent dynamic programs (one per trip destination), so a Δ
 evaluation splits into destination-partition shards
-(:class:`~repro.engine.tasks.OccupancyShardTask`): each shard scans a
+(:class:`~repro.engine.tasks.AnalysisShardTask`): each shard scans a
 node subset's incoming trips with a proportionally smaller state, and
-the shard histograms merge back — integer-exact — into the very
-accumulator an unsharded scan would have produced.  Sharded results are
-bit-identical to unsharded ones on every backend.
+the shard collectors merge back — integer-exact — into the very
+accumulators an unsharded scan would have produced.  Sharded results
+are bit-identical to unsharded ones on every backend.
 
 The default policy is ``auto``: shard a task into ``ceil(workers /
 tasks)`` pieces only when the plan has fewer tasks than the backend has
@@ -71,9 +96,12 @@ workers.  Control it per call (``occupancy_method(stream,
 engine="process", shards=8)``), per engine (``SweepEngine("process",
 shards="auto")``), process-wide (``REPRO_SHARDS``), or on the command
 line (``repro analyze --backend process --jobs 8 --shards auto``).
-Shard results carry their shard spec in the cache key, and merged
-sweep points are stored under the unsharded key, so sharded and
-unsharded runs warm each other.
+Sharding composes with measure fusion: every collector of the fused
+task restricts to the shard's destinations and merges integer-exactly
+(occupancy histograms and distance sums alike).  Shard results carry
+their shard spec in the cache key, and merged per-measure results are
+stored under the ordinary measure keys, so sharded and unsharded runs
+warm each other.
 """
 
 from repro.core import (

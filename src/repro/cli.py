@@ -3,12 +3,16 @@
 Commands
 --------
 ``analyze``   detect the saturation scale of an event file and print the
-              evidence curve (optionally with validation measures).
+              evidence curve (optionally with validation measures and,
+              via ``--measures``, classical columns computed from the
+              same single scan per window length).
 ``aggregate`` aggregate an event file at a chosen window and write one
               edge-list row per (window, u, v).
 ``generate``  produce a synthetic stream (time-uniform, two-mode, or a
               dataset replica) as a TSV event file.
 ``datasets``  list the built-in dataset replicas and their statistics.
+``cache``     inspect or empty the persistent sweep-result store
+              (``stats`` / ``clear``).
 
 All files are TSV with columns ``u v t`` unless ``--columns`` says
 otherwise.
@@ -25,12 +29,16 @@ from repro.core import analyze_stream
 from repro.datasets import available_datasets, dataset_spec, load
 from repro.engine import (
     CACHE_DIR_ENV_VAR,
+    CACHE_MAX_BYTES_ENV_VAR,
+    DiskStore,
     ENGINE_ENV_VAR,
     SHARDS_ENV_VAR,
     StderrProgress,
     SweepCache,
     SweepEngine,
     available_backends,
+    available_measures,
+    cache_max_bytes_from_env,
 )
 from repro.generators import time_uniform_stream, two_mode_stream_by_rho
 from repro.graphseries import aggregate as aggregate_stream
@@ -47,25 +55,38 @@ def _read_stream(path: str, columns: str, directed: bool, fmt: str) -> LinkStrea
 
 def _build_engine(args: argparse.Namespace) -> SweepEngine:
     """Sweep engine from the ``analyze`` flags (falling back to the
-    ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` environment defaults)."""
+    ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES``
+    environment defaults)."""
     backend = args.backend or os.environ.get(ENGINE_ENV_VAR) or "serial"
     cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV_VAR) or None
     shards = args.shards or os.environ.get(SHARDS_ENV_VAR) or None
     return SweepEngine(
         backend,
         jobs=args.jobs,
-        cache=SweepCache.build(disk_dir=cache_dir),
+        cache=SweepCache.build(
+            disk_dir=cache_dir,
+            disk_max_bytes=cache_max_bytes_from_env(),
+        ),
         progress=StderrProgress() if args.progress else None,
         shards=shards,
     )
 
 
+def _parse_measures(text: str) -> tuple[str, ...]:
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise ReproError("--measures needs at least one measure name")
+    return names
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     stream = _read_stream(args.events, args.columns, not args.undirected, args.format)
+    measures = _parse_measures(args.measures)
     with _build_engine(args) as engine:
         report = analyze_stream(
             stream,
             validate=args.validate,
+            measures=measures,
             num_deltas=args.num_deltas,
             method=args.method,
             refine_rounds=args.refine,
@@ -73,14 +94,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
     print(report.to_text())
     print()
-    print("delta        mk_proximity  trips")
+    # Extra measure columns ride the same per-Δ scan as the occupancy
+    # evidence; shown inline so the curves can be read side by side.
+    extra_sweep = report.classical if report.classical is not None else report.metrics
+    header = "delta        mk_proximity  trips"
+    if extra_sweep is not None:
+        header += "    density"
+    if report.classical is not None:
+        header += "   d_time  d_hops"
+    print(header)
     result = report.saturation
-    for point in result.points:
+    for i, point in enumerate(result.points):
         marker = "  <-- gamma" if point.delta == result.gamma else ""
-        print(
+        row = (
             f"{format_duration(point.delta):>9}  {point.mk_proximity:>12.4f}  "
-            f"{point.num_trips:>7}{marker}"
+            f"{point.num_trips:>7}"
         )
+        if extra_sweep is not None:
+            row += f"  {extra_sweep.points[i].snapshot.mean_density:>9.4f}"
+        if report.classical is not None:
+            classical_point = report.classical.points[i]
+            row += (
+                f"  {classical_point.mean_distance_in_time:>7.3f}"
+                f"  {classical_point.mean_distance_in_hops:>6.3f}"
+            )
+        print(row + marker)
     return 0
 
 
@@ -122,6 +160,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cache_dir(args: argparse.Namespace) -> str:
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV_VAR) or None
+    if cache_dir is None:
+        raise ReproError(
+            f"no cache directory: pass --cache-dir or set ${CACHE_DIR_ENV_VAR}"
+        )
+    return cache_dir
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args)
+    if not os.path.isdir(cache_dir):
+        # Inspecting or clearing must never mkdir: a typo'd path would
+        # otherwise report a convincing empty store (and leave the stray
+        # directory behind) while the real cache sits elsewhere.
+        raise ReproError(f"cache directory does not exist: {cache_dir}")
+    store = DiskStore(cache_dir, max_bytes=cache_max_bytes_from_env())
+    if args.action == "stats":
+        stats = store.stats()
+        cap = (
+            f"{stats['max_bytes']} bytes"
+            if stats["max_bytes"] is not None
+            else f"none (set ${CACHE_MAX_BYTES_ENV_VAR} to cap)"
+        )
+        print(f"cache directory: {store.directory}")
+        print(f"entries: {stats['entries']}")
+        print(f"size: {stats['bytes']} bytes")
+        print(f"size cap: {cap}")
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} cached results from {store.directory}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print("built-in dataset replicas (paper Section 5):")
     for name in available_datasets():
@@ -154,6 +226,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--method", default="mk", help="selection statistic (mk/std/cre/shannonK)")
     analyze.add_argument("--refine", type=int, default=0, help="refinement rounds")
     analyze.add_argument("--validate", action="store_true", help="also run Section 8 loss measures")
+    analyze.add_argument(
+        "--measures",
+        default="occupancy",
+        help="comma-separated measures to evaluate at every window length "
+        f"({','.join(available_measures())}); the whole set is computed "
+        "from ONE aggregation and ONE backward scan per delta (the fused "
+        "measure pipeline), so adding classical columns costs no extra "
+        "sweep; 'occupancy' is required (it selects gamma). Default: "
+        "occupancy",
+    )
     analyze.add_argument(
         "--backend",
         choices=available_backends(),
@@ -210,6 +292,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = sub.add_parser("datasets", help="list built-in dataset replicas")
     datasets.set_defaults(func=_cmd_datasets)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or empty the persistent sweep-result store",
+        description="Manage the on-disk sweep cache (the store that "
+        f"${CACHE_DIR_ENV_VAR} / --cache-dir point analyze at). 'stats' "
+        "reports entry count, total size, and the eviction cap "
+        f"(${CACHE_MAX_BYTES_ENV_VAR}: least-recently-used results are "
+        "swept once the store outgrows it); 'clear' deletes every entry.",
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

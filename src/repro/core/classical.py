@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import engine_scope, plan_classical_sweep
+from repro.engine import (
+    ClassicalMeasure,
+    MetricsMeasure,
+    engine_scope,
+    plan_classical_sweep,
+)
 from repro.graphseries.metrics import SeriesMetrics
 from repro.linkstream.stream import LinkStream
 from repro.temporal.reachability import DistanceStats
@@ -88,14 +93,24 @@ def classical_sweep(
 
     ``compute_distances=False`` skips the reachability scan and reports
     only the cheap per-snapshot statistics.  The sweep runs through the
-    :mod:`repro.engine` subsystem; ``engine`` accepts an engine
-    instance, a backend name, or ``None`` for the process default.
-    ``shards`` sets the within-Δ shard policy for the run; classical
-    tasks do not currently shard (distance statistics span all node
-    pairs), so they ride through any policy unchanged.
+    :mod:`repro.engine` subsystem as a plan of fused measure tasks;
+    ``engine`` accepts an engine instance, a backend name, or ``None``
+    for the process default.  ``shards`` sets the within-Δ shard policy
+    for the run; the distance statistics accumulate per destination
+    column, so they shard and merge integer-exactly like every other
+    scan measure (a distance-free sweep has no scan to split and rides
+    through any policy unchanged).
+
+    To get these columns *and* an occupancy sweep from one scan per Δ,
+    request the ``"classical"`` measure on
+    :func:`~repro.core.saturation.occupancy_method` (or
+    :func:`~repro.core.report.analyze_stream`) instead of running two
+    sweeps.
     """
     tasks = plan_classical_sweep(
         deltas, compute_distances=compute_distances, origin=origin
     )
+    name = (ClassicalMeasure() if compute_distances else MetricsMeasure()).name
     with engine_scope(engine) as eng:
-        return ClassicalSweep(eng.run(stream, tasks, shards=shards))
+        results = eng.run(stream, tasks, shards=shards)
+    return ClassicalSweep([r[name] for r in results])

@@ -248,7 +248,9 @@ class OccupancyDistribution:
         probs = np.zeros(slots)
         np.add.at(probs, idx, self._weights)
         probs = probs[probs > 0]
-        return float(-(probs * np.log(probs)).sum())
+        # Normalized weights can overshoot 1 by an ulp (e.g. all mass in
+        # one slot), making -p log p a tiny negative; entropy is >= 0.
+        return max(0.0, float(-(probs * np.log(probs)).sum()))
 
     def cumulative_residual_entropy(self) -> float:
         """CRE ``ε(X) = −∫_0^1 P(X>λ) log P(X>λ) dλ`` (Section 7).
@@ -261,7 +263,9 @@ class OccupancyDistribution:
         positive = s > 0
         lengths = (b - a)[positive]
         surv = s[positive]
-        return float(-(lengths * surv * np.log(surv)).sum())
+        # Same ulp guard as shannon_entropy: survival values touching 1
+        # from above would otherwise push the integral a hair below 0.
+        return max(0.0, float(-(lengths * surv * np.log(surv)).sum()))
 
     # -- combination ------------------------------------------------------------
 

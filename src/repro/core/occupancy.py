@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.distribution import OccupancyDistribution
-from repro.graphseries.aggregation import aggregate
+from repro.graphseries.aggregation import aggregate_cached
 from repro.graphseries.series import GraphSeries
 from repro.linkstream.stream import LinkStream
 from repro.temporal.reachability import scan_series
@@ -115,10 +115,30 @@ class OccupancyCollector:
         self._num_trips += other._num_trips
         return self
 
+    @property
+    def empty(self) -> bool:
+        """Whether the collector holds no trips yet.
+
+        A legitimately common state: a destination shard whose nodes
+        receive zero trips, or a freshly built merge accumulator.  Empty
+        collectors record and :meth:`merge` like any other; only
+        :meth:`distribution` — final assembly — requires mass.
+        """
+        return not self._num_trips
+
     def distribution(self) -> OccupancyDistribution:
-        """Assemble the collected rates into a distribution."""
+        """Assemble the collected rates into a distribution.
+
+        Raises :class:`ValidationError` when the collector — after all
+        merges — holds no trips at all: a distribution needs mass.  Call
+        this only at final assembly; individual shards may legitimately
+        be :attr:`empty`.
+        """
         if not self._num_trips:
-            raise ValidationError("no minimal trips collected (empty series?)")
+            raise ValidationError(
+                "no minimal trips collected (empty series, or shards "
+                "merged into an empty total?)"
+            )
         if self._exact:
             values = np.concatenate(self._chunks)
             return OccupancyDistribution(values)
@@ -155,7 +175,9 @@ def series_occupancy_shard(
     covering the node set produce collectors that :meth:`merge
     <OccupancyCollector.merge>` back into exactly the full accumulator.
     Returns the raw collector (not a distribution) so partial results
-    stay mergeable.
+    stay mergeable — a shard whose destinations receive zero trips comes
+    back legitimately :attr:`~OccupancyCollector.empty` and merges like
+    any other; only the final merged assembly requires mass.
     """
     collector = OccupancyCollector(bins=bins, exact=exact)
     scan_series(series, collector, include_self=include_self, targets=targets)
@@ -173,10 +195,12 @@ def stream_occupancy_at(
 ) -> tuple[OccupancyDistribution, GraphSeries, int]:
     """Aggregate at Δ and compute the occupancy distribution in one shot.
 
-    Returns ``(distribution, series, num_trips)`` — the sweep's inner
-    loop, also convenient interactively.
+    Returns ``(distribution, series, num_trips)``.  Aggregation goes
+    through :func:`~repro.graphseries.aggregation.aggregate_cached`, so
+    an interactive call at some Δ warms the same series memo the sweep
+    engine's fused tasks read (and vice versa).
     """
-    series = aggregate(stream, delta, origin=origin)
+    series = aggregate_cached(stream, delta, origin=origin)
     distribution, num_trips = series_occupancy(
         series, bins=bins, exact=exact, include_self=include_self
     )

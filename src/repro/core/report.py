@@ -5,14 +5,22 @@ statistics, saturation-scale detection, loss validation at γ, and a
 window recommendation — into a single structured result with a plain-
 text rendering.  The CLI's ``analyze`` command and notebook users get
 the same artifact.
+
+The report can carry extra measure columns: requesting
+``measures=("occupancy", "classical")`` computes the occupancy
+distributions *and* the classical parameters (Figure 2 top and bottom)
+from **exactly one aggregation and one backward scan per Δ** — the
+engine's fused measure pipeline — instead of sweeping the grid once per
+measure kind.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.classical import ClassicalSweep
 from repro.core.saturation import SaturationResult, occupancy_method
 from repro.core.validation import (
     ElongationPoint,
@@ -23,6 +31,7 @@ from repro.core.validation import (
 )
 from repro.linkstream.statistics import StreamSummary, stream_summary
 from repro.linkstream.stream import LinkStream
+from repro.utils.errors import ValidationError
 from repro.utils.timeunits import format_duration
 
 
@@ -34,6 +43,12 @@ class StreamReport:
     saturation: SaturationResult
     transitions_lost_at_gamma: float | None
     elongation_at_gamma: ElongationPoint | None
+    #: Classical parameters per Δ (``measures`` included "classical"),
+    #: computed from the same scans as the occupancy sweep.
+    classical: ClassicalSweep | None = field(default=None, repr=False)
+    #: Distance-free snapshot metrics per Δ (``measures`` included
+    #: "metrics").
+    metrics: ClassicalSweep | None = field(default=None, repr=False)
 
     @property
     def gamma(self) -> float:
@@ -92,15 +107,38 @@ class StreamReport:
         return "\n".join(lines)
 
 
+def _measure_names(measures) -> tuple[str, ...]:
+    """Normalize the requested measure-name set for :func:`analyze_stream`."""
+    if isinstance(measures, str):
+        measures = (measures,)
+    names = tuple(dict.fromkeys(measures))
+    if "occupancy" not in names:
+        raise ValidationError(
+            "analyze_stream detects the saturation scale, so the measure "
+            'set must include "occupancy" (use classical_sweep for a '
+            "standalone classical run)"
+        )
+    return names
+
+
 def analyze_stream(
     stream: LinkStream,
     *,
     validate: bool = True,
     max_elongation_trips: int = 50_000,
+    measures=("occupancy",),
     engine=None,
     **occupancy_kwargs,
 ) -> StreamReport:
     """Run the full pipeline on a stream and return a :class:`StreamReport`.
+
+    ``measures`` names what to evaluate at every Δ of the sweep:
+    ``"occupancy"`` (always required — it selects γ) optionally joined
+    by ``"classical"`` (snapshot means + distance statistics, Figure 2)
+    and/or ``"metrics"`` (snapshot means only).  The whole set is
+    computed from **one aggregation and one backward scan per Δ**; the
+    extra columns land in :attr:`StreamReport.classical` /
+    :attr:`StreamReport.metrics`.
 
     Extra keyword arguments go to
     :func:`~repro.core.saturation.occupancy_method` (``num_deltas``,
@@ -109,8 +147,12 @@ def analyze_stream(
     default).  ``validate=False`` skips the Section 8 loss measures (they
     need a second scan of the raw stream).
     """
+    names = _measure_names(measures)
+    companions = tuple(name for name in names if name != "occupancy")
     summary = stream_summary(stream)
-    saturation = occupancy_method(stream, engine=engine, **occupancy_kwargs)
+    saturation = occupancy_method(
+        stream, engine=engine, measures=companions, **occupancy_kwargs
+    )
 
     lost: float | None = None
     elongation: ElongationPoint | None = None
@@ -129,4 +171,14 @@ def analyze_stream(
         saturation=saturation,
         transitions_lost_at_gamma=lost,
         elongation_at_gamma=elongation,
+        classical=(
+            ClassicalSweep(list(saturation.companions["classical"]))
+            if "classical" in saturation.companions
+            else None
+        ),
+        metrics=(
+            ClassicalSweep(list(saturation.companions["metrics"]))
+            if "metrics" in saturation.companions
+            else None
+        ),
     )

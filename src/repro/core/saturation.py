@@ -14,10 +14,13 @@ link stream it chooses its own Δ grid and returns γ together with the
 full sweep evidence.
 
 Per-Δ evaluations run through the :mod:`repro.engine` subsystem: the
-grid becomes a plan of independent tasks dispatched to a pluggable
-backend (serial by default, threads or processes on request) behind a
-content-addressed result cache, so re-runs, refinement rounds, and
-stability analyses never recompute a sweep point.
+grid becomes a plan of independent **fused measure tasks** dispatched to
+a pluggable backend (serial by default, threads or processes on request)
+behind a content-addressed per-measure result cache, so re-runs,
+refinement rounds, and stability analyses never recompute a sweep point.
+Companion measures (the classical parameters, snapshot metrics) can ride
+the same sweep: each Δ is then aggregated once and scanned once for the
+whole set, instead of once per measure kind.
 """
 
 from __future__ import annotations
@@ -29,7 +32,12 @@ import numpy as np
 from repro.core.distribution import OccupancyDistribution
 from repro.core.sweep import log_delta_grid, refine_grid
 from repro.core.uniformity import get_method
-from repro.engine import engine_scope, plan_occupancy_sweep
+from repro.engine import (
+    OccupancyMeasure,
+    engine_scope,
+    normalize_measures,
+    plan_measure_sweep,
+)
 from repro.linkstream.stream import LinkStream
 from repro.utils.errors import SweepError, ValidationError
 from repro.utils.timeunits import format_duration
@@ -53,11 +61,19 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SaturationResult:
-    """Outcome of the occupancy method on one link stream."""
+    """Outcome of the occupancy method on one link stream.
+
+    ``companions`` holds the results of any companion measures requested
+    alongside occupancy (``measures=`` on :func:`occupancy_method`):
+    one list per measure name, aligned index-for-index with ``points``
+    — every companion value was computed from the *same* aggregation
+    and the *same* backward scan as its sweep point.
+    """
 
     gamma: float
     method: str
     points: list[SweepPoint] = field(repr=False)
+    companions: dict[str, list] = field(default_factory=dict, repr=False)
 
     @property
     def deltas(self) -> np.ndarray:
@@ -103,6 +119,7 @@ def occupancy_method(
     origin: float | None = None,
     engine=None,
     shards: int | str | None = None,
+    measures=(),
 ) -> SaturationResult:
     """Determine the saturation scale γ of a link stream.
 
@@ -149,11 +166,19 @@ def occupancy_method(
         never shard, or a fixed per-Δ shard count.  Sharded results are
         bit-identical to unsharded ones (``REPRO_SHARDS`` / CLI
         ``--shards`` set the process default).
+    measures:
+        Companion measures to evaluate at every Δ **from the same
+        aggregation and the same backward scan** as the occupancy
+        distribution — measure names (``"classical"``, ``"metrics"``)
+        or :class:`~repro.engine.MeasureSpec` instances.  Results land
+        in :attr:`SaturationResult.companions`, aligned with
+        ``points`` (refinement rounds included).
 
     Returns
     -------
     SaturationResult
-        γ plus the full evidence (per-Δ distributions and scores).
+        γ plus the full evidence (per-Δ distributions and scores), and
+        any companion measure results.
     """
     if stream.num_events < 2:
         raise ValidationError("occupancy method needs at least two events")
@@ -169,47 +194,58 @@ def occupancy_method(
     methods = tuple(dict.fromkeys((method, "mk", *extra_methods)))
     for name in methods:
         get_method(name)  # validate early
+    measure_set = normalize_measures(
+        (
+            OccupancyMeasure(methods=methods, bins=bins, exact=exact),
+            *measures,
+        )
+    )
 
     with engine_scope(engine) as eng:
-        points = _evaluate_deltas(
-            stream, deltas, methods, bins, exact, include_self, origin, eng, shards
+        entries = _evaluate_deltas(
+            stream, deltas, measure_set, include_self, origin, eng, shards
         )
         for _ in range(refine_rounds):
-            current = np.array([p.delta for p in points])
-            scores = np.array([p.scores[method] for p in points])
+            current = np.array([e["occupancy"].delta for e in entries])
+            scores = np.array([e["occupancy"].scores[method] for e in entries])
             best = int(np.argmax(scores))
             extra = refine_grid(current, best, points=refine_points)
             if not extra.size:
                 break
-            points.extend(
+            entries.extend(
                 _evaluate_deltas(
-                    stream, extra, methods, bins, exact, include_self, origin,
-                    eng, shards,
+                    stream, extra, measure_set, include_self, origin, eng,
+                    shards,
                 )
             )
-            points.sort(key=lambda p: p.delta)
+            entries.sort(key=lambda e: e["occupancy"].delta)
 
+    points = [e["occupancy"] for e in entries]
+    companions = {
+        m.name: [e[m.name] for e in entries]
+        for m in measure_set
+        if m.name != "occupancy"
+    }
     final_scores = np.array([p.scores[method] for p in points])
     gamma = points[int(np.argmax(final_scores))].delta
-    return SaturationResult(gamma=float(gamma), method=method, points=points)
+    return SaturationResult(
+        gamma=float(gamma), method=method, points=points, companions=companions
+    )
 
 
 def _evaluate_deltas(
     stream: LinkStream,
     deltas: np.ndarray,
-    methods: tuple[str, ...],
-    bins: int,
-    exact: bool,
+    measure_set,
     include_self: bool,
     origin: float | None,
     engine,
     shards: int | str | None = None,
-) -> list[SweepPoint]:
-    tasks = plan_occupancy_sweep(
+) -> list[dict]:
+    """One fused task per Δ; returns per-Δ measure-result dicts."""
+    tasks = plan_measure_sweep(
         deltas,
-        methods=methods,
-        bins=bins,
-        exact=exact,
+        measure_set,
         include_self=include_self,
         origin=origin,
     )

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graphseries.aggregation import aggregate
+from repro.graphseries.aggregation import aggregate_cached
 from repro.linkstream.stream import LinkStream
 from repro.temporal.collectors import TripListCollector
 from repro.temporal.reachability import scan_series, scan_stream
@@ -141,7 +141,9 @@ def elongation_at(
         origin = stream.t_min
     if stream_index is None:
         stream_index = PairTripIndex(stream_minimal_trips(stream), stream.num_nodes)
-    series = aggregate(stream, delta, origin=origin)
+    # The cached aggregation typically hits: validation at gamma follows
+    # a sweep that already materialized the series at gamma.
+    series = aggregate_cached(stream, delta, origin=origin)
     collector = TripListCollector()
     scan_series(series, collector)
     trips = collector.trips()

@@ -7,11 +7,12 @@ package turns that loop into an explicit plan of
 :class:`~repro.engine.backends.ExecutionBackend` behind a
 content-addressed :class:`~repro.engine.cache.SweepCache`:
 
-* :mod:`repro.engine.tasks` — per-Δ task records (occupancy and
-  classical sweeps) with evaluation and cache-key logic, plus the
-  within-Δ shard planner (:class:`OccupancyShardTask` splits one huge
-  evaluation into destination-partition shards that merge back
-  bit-identically);
+* :mod:`repro.engine.tasks` — the measure layer
+  (:class:`MeasureSpec`: occupancy, classical, metrics) and the fused
+  per-Δ :class:`AnalysisTask` that aggregates once, scans once, and
+  emits one separately-cached result per measure, plus the within-Δ
+  shard planner (:class:`AnalysisShardTask` splits one huge evaluation
+  into destination-partition shards that merge back bit-identically);
 * :mod:`repro.engine.backends` — serial (default), thread-pool, and
   chunked process-pool execution, all bit-identical;
 * :mod:`repro.engine.cache` — layered memory/disk result store keyed on
@@ -48,9 +49,11 @@ from repro.engine.progress import NULL_PROGRESS, ProgressListener, StderrProgres
 from repro.engine.scheduler import (
     AUTO_SHARDS,
     CACHE_DIR_ENV_VAR,
+    CACHE_MAX_BYTES_ENV_VAR,
     ENGINE_ENV_VAR,
     SHARDS_ENV_VAR,
     SweepEngine,
+    cache_max_bytes_from_env,
     default_engine,
     engine_from_env,
     engine_scope,
@@ -59,24 +62,38 @@ from repro.engine.scheduler import (
     set_default_engine,
 )
 from repro.engine.tasks import (
-    ClassicalTask,
+    AnalysisShardResult,
+    AnalysisShardTask,
+    AnalysisTask,
+    ClassicalMeasure,
     DeltaTask,
-    OccupancyShardResult,
-    OccupancyShardTask,
-    OccupancyTask,
+    MeasureSpec,
+    MetricsMeasure,
+    OccupancyMeasure,
     ShardPlan,
+    available_measures,
+    normalize_measures,
     plan_classical_sweep,
+    plan_measure_sweep,
     plan_occupancy_sweep,
     plan_shard_expansion,
+    resolve_measure,
 )
 
 __all__ = [
     "DeltaTask",
-    "OccupancyTask",
-    "OccupancyShardTask",
-    "OccupancyShardResult",
+    "AnalysisTask",
+    "AnalysisShardTask",
+    "AnalysisShardResult",
+    "MeasureSpec",
+    "OccupancyMeasure",
+    "ClassicalMeasure",
+    "MetricsMeasure",
+    "available_measures",
+    "normalize_measures",
+    "resolve_measure",
     "ShardPlan",
-    "ClassicalTask",
+    "plan_measure_sweep",
     "plan_occupancy_sweep",
     "plan_classical_sweep",
     "plan_shard_expansion",
@@ -97,10 +114,12 @@ __all__ = [
     "resolve_engine",
     "engine_scope",
     "engine_from_env",
+    "cache_max_bytes_from_env",
     "normalize_shards",
     "AUTO_SHARDS",
     "ENGINE_ENV_VAR",
     "CACHE_DIR_ENV_VAR",
+    "CACHE_MAX_BYTES_ENV_VAR",
     "SHARDS_ENV_VAR",
     "ProgressListener",
     "StderrProgress",

@@ -89,28 +89,61 @@ class DiskStore(CacheStore):
     temporary file, and sharded into 256 subdirectories by key prefix so
     huge caches stay filesystem-friendly.  Unreadable entries count as
     misses — a damaged cache only costs recomputation.
+
+    ``max_bytes`` caps the store's total size: when the cap is exceeded
+    after a write, the least-recently-*used* entries are deleted until
+    the store fits again.  Recency is tracked through each entry file's
+    mtime — refreshed on every hit — so a warm working set survives
+    while stale sweeps age out.  The sweep is best-effort and safe under
+    concurrent processes: a racing deletion only costs a recomputation.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise EngineError("max_bytes must be a positive byte count")
         self._root = Path(directory)
         self._root.mkdir(parents=True, exist_ok=True)
+        self._max_bytes = max_bytes
+        #: Running size estimate, lazily initialized by a scan on the
+        #: first capped write and corrected at every eviction sweep, so
+        #: a put costs one stat-free addition in the common case.
+        self._approx_bytes: int | None = None
+        self._size_lock = threading.Lock()
 
     @property
     def directory(self) -> Path:
         return self._root
 
+    @property
+    def max_bytes(self) -> int | None:
+        return self._max_bytes
+
     def _path(self, key: str) -> Path:
         return self._root / key[:2] / f"{key}.pkl"
+
+    def _entries(self) -> list[Path]:
+        return list(self._root.glob("??/*.pkl"))
 
     def get(self, key: str) -> Any:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except FileNotFoundError:
             return MISS
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
             return MISS
+        try:
+            # Mark the entry recently used, so the LRU sweep spares it.
+            os.utime(path)
+        except OSError:
+            pass
+        return value
 
     def put(self, key: str, value: Any) -> None:
         path = self._path(key)
@@ -119,6 +152,11 @@ class DiskStore(CacheStore):
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            written = os.path.getsize(tmp_name)
+            # An overwrite replaces an existing entry: account the delta,
+            # not the full size, or re-puts would inflate the estimate and
+            # trigger spurious eviction sweeps.
+            replaced = self._safe_size(path) if self._max_bytes is not None else 0
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -126,6 +164,68 @@ class DiskStore(CacheStore):
             except OSError:
                 pass
             raise
+        if self._max_bytes is not None:
+            self._account_and_evict(written - replaced)
+
+    def _account_and_evict(self, delta_bytes: int) -> None:
+        """Fold a write's size delta into the running estimate; sweep LRU
+        entries when the store outgrows the cap."""
+        with self._size_lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = sum(
+                    self._safe_size(p) for p in self._entries()
+                )
+            else:
+                self._approx_bytes += delta_bytes
+            if self._approx_bytes <= self._max_bytes:
+                return
+            # Exact sweep: stat everything, drop oldest-used first.
+            entries = []
+            for path in self._entries():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            entries.sort()
+            total = sum(size for (_, size, _) in entries)
+            while entries and total > self._max_bytes:
+                _, size, path = entries.pop(0)
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+            self._approx_bytes = total
+
+    @staticmethod
+    def _safe_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def stats(self) -> dict[str, int | None]:
+        """Entry count and total bytes currently on disk (plus the cap)."""
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(self._safe_size(p) for p in entries),
+            "max_bytes": self._max_bytes,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        with self._size_lock:
+            self._approx_bytes = 0
+        return removed
 
 
 class SweepCache:
@@ -155,13 +255,18 @@ class SweepCache:
         memory: bool = True,
         max_entries: int = 1024,
         disk_dir: str | os.PathLike | None = None,
+        disk_max_bytes: int | None = None,
     ) -> "SweepCache":
-        """The common layerings in one call: memory, disk, or both."""
+        """The common layerings in one call: memory, disk, or both.
+
+        ``disk_max_bytes`` caps the disk layer (LRU eviction); ignored
+        without ``disk_dir``.
+        """
         stores: list[CacheStore] = []
         if memory:
             stores.append(MemoryStore(max_entries))
         if disk_dir is not None:
-            stores.append(DiskStore(disk_dir))
+            stores.append(DiskStore(disk_dir, max_bytes=disk_max_bytes))
         return cls(stores)
 
     @property

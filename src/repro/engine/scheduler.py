@@ -4,10 +4,18 @@
 (:func:`~repro.core.saturation.occupancy_method` and friends) and the
 execution machinery.  ``run(stream, tasks)``:
 
-1. probes the :class:`~repro.engine.cache.SweepCache` for every task
-   (keyed on the stream fingerprint + task parameters),
-2. hands only the misses to the :class:`ExecutionBackend`,
-3. stores the fresh results and returns everything in task order.
+1. probes the :class:`~repro.engine.cache.SweepCache` for every task's
+   **per-result keys** (a fused :class:`~repro.engine.tasks.AnalysisTask`
+   has one key per measure, keyed on the stream fingerprint + Δ + that
+   measure's parameters),
+2. narrows each partially-cached task to its missing results and hands
+   only those narrowed tasks to the :class:`ExecutionBackend`,
+3. stores every fresh per-measure result under its own key and returns
+   the assembled results in task order.
+
+A warm occupancy cache plus a cold classical request therefore re-scans
+each Δ exactly once — computing only the classical measure — and a fully
+warm measure set is served without touching the backend at all.
 
 The process-wide **default engine** is what sweeps use when no engine is
 passed explicitly.  It is configured from the environment on first use:
@@ -15,19 +23,21 @@ passed explicitly.  It is configured from the environment on first use:
 * ``REPRO_ENGINE`` — backend spec, e.g. ``serial`` (default), ``thread``,
   ``process``, or ``thread:8`` to pin the worker count;
 * ``REPRO_CACHE_DIR`` — adds a persistent on-disk result store;
+* ``REPRO_CACHE_MAX_BYTES`` — size cap for that store (LRU eviction);
 * ``REPRO_SHARDS`` — within-Δ sharding: ``auto`` (the default heuristic),
   ``1`` (never shard), or a fixed shard count per Δ.
 
 **Within-Δ sharding.**  Grid parallelism stops helping when the plan has
 fewer tasks than the backend has workers — the coarse-Δ tail of a sweep
 and refinement rounds, where one huge evaluation pins one worker while
-the rest idle.  For those plans the engine splits each shardable task
-into destination-partition shards (see
-:class:`~repro.engine.tasks.OccupancyShardTask`), runs the shards like
+the rest idle.  For those plans the engine splits each shardable
+(narrowed) task into destination-partition shards (see
+:class:`~repro.engine.tasks.AnalysisShardTask`), runs the shards like
 any other tasks (each with its own shard-spec cache key), and merges
 them back into one result per Δ — bit-identical to the unsharded
-evaluation on every backend.  The merged result is also stored under the
-original task's key, so sharded and unsharded runs warm each other.
+evaluation on every backend.  The merged per-measure results are stored
+under the ordinary measure keys, so sharded and unsharded runs warm
+each other.
 
 An in-memory cache is always on for the default engine: results are
 immutable and deterministic, so reuse is free correctness-wise and turns
@@ -45,7 +55,7 @@ from contextlib import contextmanager
 from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.cache import MISS, SweepCache
 from repro.engine.progress import NULL_PROGRESS, ProgressListener
-from repro.engine.tasks import DeltaTask, clear_series_memo, plan_shard_expansion
+from repro.engine.tasks import DeltaTask, plan_shard_expansion
 from repro.linkstream.stream import LinkStream
 from repro.utils.errors import EngineError
 
@@ -53,6 +63,8 @@ from repro.utils.errors import EngineError
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 #: Environment variable adding a disk store to the default engine.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+#: Environment variable capping the disk store's size in bytes.
+CACHE_MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
 #: Environment variable selecting the default engine's shard policy.
 SHARDS_ENV_VAR = "REPRO_SHARDS"
 
@@ -146,126 +158,117 @@ class SweepEngine:
         shards: int | str | None = None,
     ) -> list:
         """Evaluate every task on ``stream``; ``results[i]`` matches
-        ``tasks[i]``.  Cached results are never recomputed.
+        ``tasks[i]``.  Cached results are never recomputed: each task's
+        sub-results (one per measure for fused tasks) are probed and
+        stored individually, and tasks with partial hits are narrowed to
+        exactly their missing measures before execution.
 
         ``shards`` overrides the engine's shard policy for this run (see
         the class docstring); sharded or not, the returned results are
         bit-identical.
         """
         tasks = list(tasks)
-        num_shards = self._shard_count(len(tasks), shards, stream)
-        if num_shards <= 1:
-            return self._execute(stream, tasks)
-        return self._run_sharded(stream, tasks, num_shards)
-
-    def _run_sharded(
-        self, stream: LinkStream, tasks: list[DeltaTask], num_shards: int
-    ) -> list:
-        """Shard-expand the plan, execute, and merge one result per task.
-
-        Whole-task cache hits are honoured before any shard work; fresh
-        shard results are cached under their shard-spec keys by
-        :meth:`_execute` (layout-stable reuse: a later run with the same
-        shard spec hits them even if the merged point was evicted);
-        every merged result is stored under the original task's key so
-        later unsharded runs hit directly.  Non-shardable tasks ride
-        through :meth:`_execute` untouched — probed and stored once,
-        under their own keys.
-
-        Progress totals count executed *subtasks* plus whole-point cache
-        hits: a 2-Δ plan with one Δ cached and one sharded 4 ways
-        reports 5 units, 1 of them cached.
-        """
         total = len(tasks)
-        plan = plan_shard_expansion(tasks, num_shards)
-        results: list = [MISS] * total
-        keys: list[str | None] = [None] * total
+        num_shards = self._shard_count(total, shards, stream)
+
+        # Per-result cache probing.  ``missing[i] is None`` encodes the
+        # cache-off case: evaluate the whole task, store nothing.
+        parts: list[list] = [[] for _ in range(total)]
+        keys: list[list[str]] = [[] for _ in range(total)]
+        missing: list[list[int] | None] = [None] * total
+        narrowed: list[DeltaTask | None] = list(tasks)
         if self.cache is not None:
             fingerprint = stream.fingerprint()
             for i, task in enumerate(tasks):
-                if plan.sharded[i]:
-                    keys[i] = task.cache_key(fingerprint)
-                    results[i] = self.cache.get(keys[i])
-        pending = [i for i in range(total) if results[i] is MISS]
+                keys[i] = task.result_keys(fingerprint)
+                parts[i] = [self.cache.get(key) for key in keys[i]]
+                missing[i] = [
+                    j for j, part in enumerate(parts[i]) if part is MISS
+                ]
+                narrowed[i] = (
+                    task.narrow(missing[i]) if missing[i] else None
+                )
+
+        pending = [i for i in range(total) if narrowed[i] is not None]
         hits = total - len(pending)
 
         if not pending:
             self.progress.on_start(total)
-            self.progress.on_advance(total, total, cached=True)
+            if total:
+                self.progress.on_advance(total, total, cached=True)
             self.progress.on_finish(total)
-            return results
+            return [tasks[i].assemble(parts[i]) for i in range(total)]
 
-        subtasks: list[DeltaTask] = []
-        spans: dict[int, tuple[int, int]] = {}
-        for i in pending:
-            start, count = plan.groups[i]
-            spans[i] = (len(subtasks), count)
-            subtasks.extend(plan.subtasks[start : start + count])
-        try:
-            sub_results = self._execute(stream, subtasks, base_done=hits)
+        # Shard expansion of the narrowed tasks.  Shard subtasks carry
+        # their own shard-spec cache keys; an unsharded narrowed task is
+        # NOT re-probed here — its misses were established above at
+        # measure granularity.
+        plan = plan_shard_expansion([narrowed[i] for i in pending], num_shards)
+        units = plan.subtasks
+        unit_cached = [False] * len(units)
+        groups: dict[int, tuple[int, int, bool]] = {}
+        for i, (start, count), sharded in zip(pending, plan.groups, plan.sharded):
+            groups[i] = (start, count, sharded)
+            if sharded:
+                unit_cached[start : start + count] = [True] * count
 
-            for i in pending:
-                start, count = spans[i]
-                chunk = sub_results[start : start + count]
-                if plan.sharded[i]:
-                    results[i] = tasks[i].merge_shards(chunk)
-                    if self.cache is not None:
-                        self.cache.put(keys[i], results[i])
-                else:
-                    results[i] = chunk[0]
-        finally:
-            clear_series_memo()
-        return results
-
-    def _execute(
-        self, stream: LinkStream, tasks: list[DeltaTask], *, base_done: int = 0
-    ) -> list:
-        """The cache-then-backend pipeline for one flat plan.
-
-        ``base_done`` counts work units already satisfied by the caller
-        (whole-point cache hits on the sharded path); they are folded
-        into the progress totals as cached units.
-        """
-        total = len(tasks) + base_done
-        self.progress.on_start(total)
-        if not tasks:
-            self.progress.on_finish(total)
-            return []
-
-        results: list = [MISS] * len(tasks)
-        pending: list[int] = []
-        keys: list[str | None] = [None] * len(tasks)
+        # Progress totals count executed subtasks plus whole-task cache
+        # hits: a 2-Δ plan with one Δ fully cached and one sharded 4
+        # ways reports 5 units, 1 of them cached.
+        unit_results: list = [MISS] * len(units)
+        unit_keys: list[str | None] = [None] * len(units)
         if self.cache is not None:
-            fingerprint = stream.fingerprint()
-            for i, task in enumerate(tasks):
-                keys[i] = task.cache_key(fingerprint)
-                results[i] = self.cache.get(keys[i])
-                if results[i] is MISS:
-                    pending.append(i)
-        else:
-            pending = list(range(len(tasks)))
+            for j, unit in enumerate(units):
+                if unit_cached[j]:
+                    unit_keys[j] = unit.cache_key(fingerprint)
+                    unit_results[j] = self.cache.get(unit_keys[j])
+        to_run = [j for j in range(len(units)) if unit_results[j] is MISS]
 
-        done = total - len(pending)
+        progress_total = hits + len(units)
+        self.progress.on_start(progress_total)
+        done = progress_total - len(to_run)
         if done:
-            self.progress.on_advance(done, total, cached=True)
+            self.progress.on_advance(done, progress_total, cached=True)
 
-        if pending:
+        if to_run:
             counter = {"done": done}
 
             def tick(n: int) -> None:
                 counter["done"] += n
-                self.progress.on_advance(counter["done"], total)
+                self.progress.on_advance(counter["done"], progress_total)
 
             fresh = self.backend.run(
-                stream, [tasks[i] for i in pending], tick=tick
+                stream, [units[j] for j in to_run], tick=tick
             )
-            for i, value in zip(pending, fresh):
-                results[i] = value
-                if self.cache is not None:
-                    self.cache.put(keys[i], value)
+            for j, value in zip(to_run, fresh):
+                unit_results[j] = value
+                if unit_keys[j] is not None and self.cache is not None:
+                    self.cache.put(unit_keys[j], value)
 
-        self.progress.on_finish(total)
-        return results
+        for i in pending:
+            start, count, sharded = groups[i]
+            task = narrowed[i]
+            if sharded:
+                raw = task.merge_shards(unit_results[start : start + count])
+            else:
+                raw = unit_results[start]
+            fresh_parts = task.split_result(raw)
+            if missing[i] is None:
+                # Cache off: the narrowed task is the task itself.
+                parts[i] = fresh_parts
+            else:
+                for j, part in zip(missing[i], fresh_parts):
+                    parts[i][j] = part
+                    self.cache.put(keys[i][j], part)
+
+        # The aggregated series the run materialized stay in the bounded
+        # process-wide memo (repro.graphseries.aggregate_cached) on
+        # purpose: validation and one-shot follow-ups re-read the series
+        # a sweep just built.  Callers wanting the memory back call
+        # clear_aggregate_cache().
+
+        self.progress.on_finish(progress_total)
+        return [tasks[i].assemble(parts[i]) for i in range(total)]
 
     def close(self) -> None:
         """Release backend workers (the cache stays usable)."""
@@ -284,14 +287,37 @@ class SweepEngine:
         )
 
 
+def cache_max_bytes_from_env(environ=None) -> int | None:
+    """The ``REPRO_CACHE_MAX_BYTES`` disk-store cap, validated.
+
+    Shared by every consumer of the variable (the default engine, the
+    CLI's engine builder, ``repro cache``), so a malformed value fails
+    the same clean way everywhere.
+    """
+    env = os.environ if environ is None else environ
+    text = env.get(CACHE_MAX_BYTES_ENV_VAR) or None
+    if text is None:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise EngineError(
+            f"bad {CACHE_MAX_BYTES_ENV_VAR} value {text!r}: "
+            "expected a byte count"
+        ) from None
+
+
 def engine_from_env(environ=None) -> SweepEngine:
     """Build an engine from ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` /
-    ``REPRO_SHARDS``."""
+    ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_SHARDS``."""
     env = os.environ if environ is None else environ
     cache_dir = env.get(CACHE_DIR_ENV_VAR) or None
     return SweepEngine(
         env.get(ENGINE_ENV_VAR) or None,
-        cache=SweepCache.build(disk_dir=cache_dir),
+        cache=SweepCache.build(
+            disk_dir=cache_dir,
+            disk_max_bytes=cache_max_bytes_from_env(env),
+        ),
         shards=env.get(SHARDS_ENV_VAR) or None,
     )
 

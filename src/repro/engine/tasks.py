@@ -2,11 +2,23 @@
 
 A Δ sweep — the inner loop of the occupancy method and of the classical-
 parameter analysis — is a set of fully independent evaluations, one per
-aggregation period.  This module makes that structure explicit: each
-candidate Δ becomes one :class:`DeltaTask` that knows how to evaluate
-itself on a stream and how to describe itself for the content-addressed
-cache.  Backends (:mod:`repro.engine.backends`) execute tasks; the
-scheduler (:mod:`repro.engine.scheduler`) orders, caches, and collects.
+aggregation period.  This module makes that structure explicit, in two
+layers:
+
+* A :class:`MeasureSpec` names **one quantity** computable from the
+  series aggregated at Δ — the occupancy sweep point, the classical
+  parameters with distance statistics, the cheap snapshot metrics — and
+  knows how to contribute a collector to the backward scan, how to
+  finalize the collected state into its result, and how to describe
+  itself for the cache.
+* An :class:`AnalysisTask` carries a **set** of measures for one Δ.  It
+  aggregates the stream once, runs **one** backward scan feeding every
+  measure's collector (the scan's multi-consumer contract,
+  :func:`~repro.temporal.reachability.scan_series`), and emits one
+  result per measure.  The scheduler caches each measure's result under
+  its own key, so a warm occupancy cache plus a cold classical request
+  re-scans exactly once — computing only the missing measures — and
+  every per-measure result stays individually reusable.
 
 Tasks are small frozen dataclasses so they pickle cheaply to worker
 processes; the stream itself is shipped separately (once per chunk).
@@ -15,39 +27,261 @@ processes; the stream itself is shipped separately (once per chunk).
 from __future__ import annotations
 
 import hashlib
-import threading
 from abc import ABC, abstractmethod
-from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
-from functools import reduce
 from typing import Any
 
 import numpy as np
 
-from repro.core.occupancy import (
-    OccupancyCollector,
-    series_occupancy_shard,
-    stream_occupancy_at,
-)
+from repro.core.occupancy import OccupancyCollector
 from repro.core.uniformity import score_distribution
-from repro.graphseries.aggregation import aggregate
+from repro.graphseries.aggregation import aggregate_cached
 from repro.graphseries.metrics import series_metrics
 from repro.linkstream.stream import LinkStream
-from repro.temporal.reachability import scan_series
+from repro.temporal.reachability import DistanceTotals, scan_series
 from repro.utils.errors import EngineError
 
 #: Version of the evaluation numerics baked into every cache key.  Bump
 #: whenever any code a task's ``evaluate`` depends on changes results
 #: (aggregation, the backward scan, occupancy collection, scoring), so
 #: persistent disk caches from older releases invalidate instead of
-#: silently serving stale sweep points.
-EVAL_VERSION = 1
+#: silently serving stale sweep points.  (2: the fused measure pipeline —
+#: per-measure results, integer-exact distance sums.)
+EVAL_VERSION = 2
+
+
+@dataclass(frozen=True)
+class SeriesGeometry:
+    """Shape of the aggregated series, identical across shards of one Δ."""
+
+    num_nodes: int
+    num_windows: int
+    num_nonempty_windows: int
+
+
+@dataclass(frozen=True)
+class MeasureSpec(ABC):
+    """One quantity measurable from the series aggregated at one Δ.
+
+    Subclasses are frozen dataclasses (hashable, picklable).  A measure
+    either feeds on the backward scan (it contributes a collector /
+    accumulator via :meth:`make_collector`) or on the series itself
+    (:meth:`series_payload`), or both; :meth:`finalize` assembles the
+    final per-Δ result from the collected state.  Finalization always
+    goes through the *merge* shape — a list of collectors, one per shard
+    (length 1 for an unsharded evaluation) — so sharded and unsharded
+    paths are bit-identical by construction.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Unique short name of the measure (``occupancy``, ``classical``,
+        ``metrics``); the key under which its result is emitted."""
+
+    #: Whether the measure contributes a collector to the backward scan.
+    #: (A class attribute, not a dataclass field: it is part of the
+    #: measure's *kind*, not of its parameters.)
+    scans = False
+    #: Whether the measure needs per-series (non-scan) work.  Carried by
+    #: a single shard when the evaluation is sharded.
+    has_payload = False
+
+    def token(self) -> tuple:
+        """Full result identity (all parameters, scoring included)."""
+        return ()
+
+    def collector_token(self) -> tuple:
+        """Scan-collector identity — the parameters that shape what the
+        scan accumulates, *excluding* pure post-processing (scoring
+        methods), so shard cache entries are shared across sweeps that
+        differ only in how the collected state is scored."""
+        return ()
+
+    def make_collector(self):
+        """A fresh scan consumer for one evaluation (``None`` when the
+        measure does not feed on the scan)."""
+        return None
+
+    def series_payload(self, series) -> Any:
+        """Non-scan work on the aggregated series (``None`` if none)."""
+        return None
+
+    @abstractmethod
+    def finalize(
+        self,
+        delta: float,
+        geometry: SeriesGeometry,
+        payload: Any,
+        collectors: list,
+    ) -> Any:
+        """Assemble the per-Δ result from shard collectors + payload.
+
+        ``collectors`` holds one collector per shard, in shard order
+        (empty when :attr:`scans` is false).  Implementations must fold
+        into *fresh* accumulators — shard collectors may live in the
+        sweep cache, which must stay pristine.
+        """
+
+
+@dataclass(frozen=True)
+class OccupancyMeasure(MeasureSpec):
+    """Occupancy-rate distribution of all minimal trips, scored against
+    the uniform density — the occupancy method's per-Δ quantity
+    (Section 4), finalized as a
+    :class:`~repro.core.saturation.SweepPoint`."""
+
+    methods: tuple[str, ...] = ("mk",)
+    bins: int = 4096
+    exact: bool = False
+
+    scans = True
+    has_payload = False
+
+    @property
+    def name(self) -> str:
+        return "occupancy"
+
+    def token(self) -> tuple:
+        return (self.methods, self.bins, self.exact)
+
+    def collector_token(self) -> tuple:
+        # Scoring methods deliberately excluded: the collector is the
+        # same whatever statistic scores it at finalize time.
+        return (self.bins, self.exact)
+
+    def make_collector(self) -> OccupancyCollector:
+        return OccupancyCollector(bins=self.bins, exact=self.exact)
+
+    def finalize(self, delta, geometry, payload, collectors):
+        from repro.core.saturation import SweepPoint
+
+        merged = OccupancyCollector(bins=self.bins, exact=self.exact)
+        for collector in collectors:
+            merged.merge(collector)
+        distribution = merged.distribution()
+        return SweepPoint(
+            delta=float(delta),
+            num_windows=geometry.num_windows,
+            num_nonempty_windows=geometry.num_nonempty_windows,
+            num_trips=merged.num_trips,
+            distribution=distribution,
+            scores=score_distribution(distribution, self.methods),
+        )
+
+
+@dataclass(frozen=True)
+class ClassicalMeasure(MeasureSpec):
+    """Classical parameters of the aggregated series (Section 3): the
+    snapshot means plus the distance statistics, finalized as a
+    :class:`~repro.core.classical.ClassicalPoint`.
+
+    The distance sums ride the same backward scan as every other
+    measure, via a :class:`~repro.temporal.reachability.DistanceTotals`
+    accumulator; the snapshot means are per-series payload work.
+    """
+
+    scans = True
+    has_payload = True
+
+    @property
+    def name(self) -> str:
+        return "classical"
+
+    def make_collector(self) -> DistanceTotals:
+        return DistanceTotals()
+
+    def series_payload(self, series):
+        return series_metrics(series)
+
+    def finalize(self, delta, geometry, payload, collectors):
+        from repro.core.classical import ClassicalPoint
+
+        merged = DistanceTotals()
+        for collector in collectors:
+            merged.merge(collector)
+        distances = merged.stats(geometry.num_nodes, geometry.num_windows)
+        return ClassicalPoint(float(delta), payload, distances)
+
+
+@dataclass(frozen=True)
+class MetricsMeasure(MeasureSpec):
+    """Snapshot metrics only — the classical parameters without the
+    distance statistics, so no scan contribution at all.  Finalized as a
+    distance-free :class:`~repro.core.classical.ClassicalPoint`."""
+
+    scans = False
+    has_payload = True
+
+    @property
+    def name(self) -> str:
+        return "metrics"
+
+    def series_payload(self, series):
+        return series_metrics(series)
+
+    def finalize(self, delta, geometry, payload, collectors):
+        from repro.core.classical import ClassicalPoint
+
+        return ClassicalPoint(float(delta), payload, None)
+
+
+#: Measure names accepted by :func:`resolve_measure` (CLI ``--measures``).
+MEASURE_REGISTRY: dict[str, type[MeasureSpec]] = {
+    "occupancy": OccupancyMeasure,
+    "classical": ClassicalMeasure,
+    "metrics": MetricsMeasure,
+}
+
+
+def available_measures() -> list[str]:
+    """Measure names accepted by name (CLI ``--measures`` and friends)."""
+    return sorted(MEASURE_REGISTRY)
+
+
+def resolve_measure(spec: "str | MeasureSpec") -> MeasureSpec:
+    """A :class:`MeasureSpec` from a name (default parameters) or an
+    instance (returned as-is)."""
+    if isinstance(spec, MeasureSpec):
+        return spec
+    if spec not in MEASURE_REGISTRY:
+        raise EngineError(
+            f"unknown measure {spec!r}; available: {available_measures()}"
+        )
+    return MEASURE_REGISTRY[spec]()
+
+
+def normalize_measures(
+    measures: "Sequence[str | MeasureSpec] | str | MeasureSpec",
+) -> tuple[MeasureSpec, ...]:
+    """Resolve a measure-set spec into a tuple of unique measures.
+
+    Accepts a single name/instance or a sequence; names resolve through
+    :data:`MEASURE_REGISTRY`.  Duplicate measure names are rejected —
+    one fused task emits exactly one result per name.
+    """
+    if isinstance(measures, (str, MeasureSpec)):
+        measures = (measures,)
+    resolved = tuple(resolve_measure(m) for m in measures)
+    if not resolved:
+        raise EngineError("a measure set needs at least one measure")
+    names = [m.name for m in resolved]
+    if len(set(names)) != len(names):
+        raise EngineError(f"duplicate measure names in set: {names}")
+    return resolved
 
 
 @dataclass(frozen=True)
 class DeltaTask(ABC):
-    """One independent unit of sweep work: evaluate one Δ on a stream."""
+    """One independent unit of sweep work: evaluate one Δ on a stream.
+
+    Tasks may emit **several separately-cacheable results** (the fused
+    :class:`AnalysisTask` emits one per measure).  The default
+    implementations below describe the single-result case; the scheduler
+    only ever speaks the multi-result protocol (:meth:`result_keys`,
+    :meth:`narrow`, :meth:`split_result`, :meth:`assemble`).
+    """
 
     delta: float
 
@@ -72,6 +306,28 @@ class DeltaTask(ABC):
         digest.update(payload.encode())
         return digest.hexdigest()
 
+    # -- multi-result protocol (single-result defaults) -------------------
+
+    def result_keys(self, stream_fingerprint: str) -> list[str]:
+        """One cache key per separately-reusable sub-result."""
+        return [self.cache_key(stream_fingerprint)]
+
+    def narrow(self, missing: Sequence[int]) -> "DeltaTask":
+        """A task computing only the sub-results at ``missing`` (indices
+        into :meth:`result_keys`).  Single-result tasks are indivisible."""
+        return self
+
+    def split_result(self, value: Any) -> list:
+        """Split an :meth:`evaluate` result into key-aligned parts."""
+        return [value]
+
+    def assemble(self, parts: list) -> Any:
+        """Inverse of :meth:`split_result`: the caller-facing result from
+        key-aligned parts (cached and fresh alike)."""
+        return parts[0]
+
+    # -- within-Δ sharding -------------------------------------------------
+
     def shard(self, num_shards: int) -> "list[DeltaTask] | None":
         """Split this task into ``num_shards`` independent subtasks, or
         ``None`` when the evaluation cannot shard (the default)."""
@@ -83,70 +339,141 @@ class DeltaTask(ABC):
         raise EngineError(f"{self.kind!r} tasks do not shard")
 
 
-@dataclass(frozen=True)
-class OccupancyTask(DeltaTask):
-    """Aggregate at Δ, collect minimal-trip occupancies, score them.
+def _origin_token(origin: float | None) -> str | None:
+    return None if origin is None else repr(float(origin))
 
-    Produces the :class:`~repro.core.saturation.SweepPoint` for one
-    aggregation period — the occupancy method's inner loop (Section 4).
+
+@dataclass(frozen=True)
+class AnalysisTask(DeltaTask):
+    """Aggregate at Δ once, scan once, emit one result per measure.
+
+    The fused per-Δ evaluation: the measure set shares a single
+    aggregation (through the process-wide series memo) and a single
+    backward scan feeding every measure's collector.  ``evaluate``
+    returns a dict mapping measure name to its result; the scheduler
+    caches each entry under its own per-measure key (see
+    :meth:`result_keys`) and :meth:`narrow`\\ s the task to the missing
+    measures on partial cache hits.
     """
 
-    methods: tuple[str, ...] = ("mk",)
-    bins: int = 4096
-    exact: bool = False
+    measures: tuple[MeasureSpec, ...] = ()
     include_self: bool = False
     origin: float | None = None
 
+    def __post_init__(self) -> None:
+        if not self.measures:
+            raise EngineError("an AnalysisTask needs at least one measure")
+        names = [m.name for m in self.measures]
+        if len(set(names)) != len(names):
+            raise EngineError(f"duplicate measure names in task: {names}")
+
     @property
     def kind(self) -> str:
-        return "occupancy"
+        return "analysis"
 
     def _token(self) -> tuple:
         return (
-            self.methods,
-            self.bins,
-            self.exact,
+            tuple((m.name, m.token()) for m in self.measures),
             self.include_self,
-            None if self.origin is None else repr(float(self.origin)),
+            _origin_token(self.origin),
         )
 
-    def evaluate(self, stream: LinkStream):
-        from repro.core.saturation import SweepPoint
+    # -- per-measure cache identity ---------------------------------------
 
-        distribution, series, num_trips = stream_occupancy_at(
-            stream,
-            float(self.delta),
-            origin=self.origin,
-            bins=self.bins,
-            exact=self.exact,
+    def measure_key(self, stream_fingerprint: str, measure: MeasureSpec) -> str:
+        """Content address of one measure's result at this Δ.
+
+        Depends only on the stream, Δ, the task-level scan parameters,
+        and *that* measure — never on which other measures ride the same
+        fused task — so any sweep requesting the measure at this Δ reuses
+        the entry, fused or not, sharded or not.
+        """
+        payload = repr(
+            (
+                EVAL_VERSION,
+                "measure",
+                repr(self.delta),
+                self.include_self,
+                _origin_token(self.origin),
+                measure.name,
+                measure.token(),
+            )
+        )
+        digest = hashlib.sha256()
+        digest.update(stream_fingerprint.encode())
+        digest.update(payload.encode())
+        return digest.hexdigest()
+
+    def result_keys(self, stream_fingerprint: str) -> list[str]:
+        return [self.measure_key(stream_fingerprint, m) for m in self.measures]
+
+    def narrow(self, missing: Sequence[int]) -> "AnalysisTask":
+        subset = tuple(self.measures[i] for i in missing)
+        if subset == self.measures:
+            return self
+        return AnalysisTask(
+            delta=self.delta,
+            measures=subset,
             include_self=self.include_self,
+            origin=self.origin,
         )
-        return SweepPoint(
-            delta=float(self.delta),
+
+    def split_result(self, value: dict) -> list:
+        return [value[m.name] for m in self.measures]
+
+    def assemble(self, parts: list) -> dict:
+        return {m.name: part for m, part in zip(self.measures, parts)}
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, stream: LinkStream) -> dict:
+        series = aggregate_cached(stream, float(self.delta), origin=self.origin)
+        geometry = SeriesGeometry(
+            num_nodes=series.num_nodes,
             num_windows=series.num_steps,
             num_nonempty_windows=int(series.nonempty_steps().size),
-            num_trips=num_trips,
-            distribution=distribution,
-            scores=score_distribution(distribution, self.methods),
         )
+        collectors = {
+            m.name: m.make_collector() for m in self.measures if m.scans
+        }
+        if collectors:
+            scan_series(
+                series,
+                list(collectors.values()),
+                include_self=self.include_self,
+            )
+        return {
+            m.name: m.finalize(
+                float(self.delta),
+                geometry,
+                m.series_payload(series) if m.has_payload else None,
+                [collectors[m.name]] if m.scans else [],
+            )
+            for m in self.measures
+        }
+
+    # -- sharding ----------------------------------------------------------
 
     def shard(self, num_shards: int) -> "list[DeltaTask] | None":
         """Split the evaluation into ``num_shards`` target-partition scans.
 
         Shard ``i`` owns destination nodes ``i, i + s, i + 2s, ...`` (a
         strided partition, so activity clustered on low or high node ids
-        still spreads across workers).  Merging the shard collectors and
-        scoring once reproduces :meth:`evaluate` bit-for-bit.
+        still spreads across workers).  Every scan-feeding measure's
+        collector restricts to the shard's columns; per-series payload
+        work (snapshot metrics) rides on shard 0 alone.  Merging the
+        shard collectors and finalizing once reproduces :meth:`evaluate`
+        bit-for-bit.  Returns ``None`` when no measure feeds on the scan
+        — there is nothing to parallelize within the Δ.
         """
         if num_shards < 1:
             raise EngineError("num_shards must be a positive integer")
-        if num_shards == 1:
+        if num_shards == 1 or not any(m.scans for m in self.measures):
             return None
         return [
-            OccupancyShardTask(
+            AnalysisShardTask(
                 delta=self.delta,
-                bins=self.bins,
-                exact=self.exact,
+                measures=self.measures,
                 include_self=self.include_self,
                 origin=self.origin,
                 shard_index=index,
@@ -155,10 +482,8 @@ class OccupancyTask(DeltaTask):
             for index in range(num_shards)
         ]
 
-    def merge_shards(self, shards: Sequence["OccupancyShardResult"]):
-        """One :class:`SweepPoint` from a full set of shard results."""
-        from repro.core.saturation import SweepPoint
-
+    def merge_shards(self, shards: Sequence["AnalysisShardResult"]) -> dict:
+        """One per-measure result dict from a full set of shard results."""
         if not shards:
             raise EngineError("cannot merge an empty shard set")
         indices = sorted(shard.shard_index for shard in shards)
@@ -175,127 +500,83 @@ class OccupancyTask(DeltaTask):
                 f"got indices {indices}"
             )
         ordered = sorted(shards, key=lambda shard: shard.shard_index)
-        # Fold into a fresh accumulator: merge() is in-place and shard
-        # results may live in the sweep cache, which must stay pristine.
-        collector = reduce(
-            lambda acc, shard: acc.merge(shard.collector),
-            ordered,
-            OccupancyCollector(bins=self.bins, exact=self.exact),
-        )
-        distribution = collector.distribution()
-        return SweepPoint(
-            delta=float(self.delta),
-            num_windows=ordered[0].num_windows,
-            num_nonempty_windows=ordered[0].num_nonempty_windows,
-            num_trips=collector.num_trips,
-            distribution=distribution,
-            scores=score_distribution(distribution, self.methods),
-        )
-
-
-#: Small per-process memo of aggregated series, so the shards of one Δ
-#: running in the same process (thread backend, or process-pool workers
-#: that receive several shards of a chunk) aggregate the stream once
-#: instead of once per shard.  Keyed on content, so it can never serve a
-#: stale series; bounded, so a long sweep cannot hoard memory.
-_SERIES_MEMO: OrderedDict[tuple, Any] = OrderedDict()
-#: Keys currently being aggregated, so concurrent shards of one Δ wait
-#: for the first thread's result instead of all recomputing it.
-_SERIES_IN_FLIGHT: dict[tuple, threading.Event] = {}
-_SERIES_MEMO_LOCK = threading.Lock()
-_SERIES_MEMO_MAX = 4
-
-
-def clear_series_memo() -> None:
-    """Drop all memoized aggregated series (in this process).
-
-    The scheduler calls this after a sharded run has merged, so large
-    aggregated series do not stay pinned in long-lived processes once
-    the sweep that needed them is over.  (Pool worker processes keep
-    their own bounded memos; those die with the pool.)
-    """
-    with _SERIES_MEMO_LOCK:
-        _SERIES_MEMO.clear()
-
-
-def _aggregate_memoized(stream: LinkStream, delta: float, origin: float | None):
-    key = (
-        stream.fingerprint(),
-        repr(float(delta)),
-        None if origin is None else repr(float(origin)),
-    )
-    with _SERIES_MEMO_LOCK:
-        if key in _SERIES_MEMO:
-            _SERIES_MEMO.move_to_end(key)
-            return _SERIES_MEMO[key]
-        pending = _SERIES_IN_FLIGHT.get(key)
-        if pending is None:
-            _SERIES_IN_FLIGHT[key] = threading.Event()
-    if pending is not None:
-        pending.wait()
-        with _SERIES_MEMO_LOCK:
-            series = _SERIES_MEMO.get(key)
-        if series is not None:
-            return series
-        # The computing thread failed or the entry was evicted under
-        # memory pressure; fall through and aggregate locally.
-        return aggregate(stream, float(delta), origin=origin)
-    try:
-        series = aggregate(stream, float(delta), origin=origin)
-        with _SERIES_MEMO_LOCK:
-            _SERIES_MEMO[key] = series
-            _SERIES_MEMO.move_to_end(key)
-            while len(_SERIES_MEMO) > _SERIES_MEMO_MAX:
-                _SERIES_MEMO.popitem(last=False)
-        return series
-    finally:
-        with _SERIES_MEMO_LOCK:
-            event = _SERIES_IN_FLIGHT.pop(key, None)
-        if event is not None:
-            event.set()
+        geometry = ordered[0].geometry
+        payloads = ordered[0].payloads
+        results: dict = {}
+        for measure in self.measures:
+            if measure.scans:
+                missing = [
+                    s.shard_index
+                    for s in ordered
+                    if measure.name not in s.collectors
+                ]
+                if missing:
+                    raise EngineError(
+                        f"shards {missing} lack the {measure.name!r} "
+                        f"collector for delta={self.delta!r}"
+                    )
+            if measure.has_payload and measure.name not in payloads:
+                raise EngineError(
+                    f"shard 0 lacks the {measure.name!r} payload for "
+                    f"delta={self.delta!r}"
+                )
+            results[measure.name] = measure.finalize(
+                float(self.delta),
+                geometry,
+                payloads.get(measure.name),
+                [s.collectors[measure.name] for s in ordered]
+                if measure.scans
+                else [],
+            )
+        return results
 
 
 @dataclass(frozen=True)
-class OccupancyShardResult:
-    """Partial occupancy evaluation: the trips arriving in one shard.
+class AnalysisShardResult:
+    """Partial fused evaluation: the collected state of one target shard.
 
-    Holds the raw (mergeable) collector rather than a distribution, plus
-    the series geometry — identical across shards of one Δ — needed to
-    assemble the final :class:`~repro.core.saturation.SweepPoint`.
+    Holds the raw (mergeable) collectors per scan-feeding measure rather
+    than finalized results, plus the series geometry — identical across
+    shards of one Δ.  ``payloads`` carries the per-series (non-scan)
+    measure work and is populated by shard 0 only.
     """
 
     delta: float
     shard_index: int
     num_shards: int
-    num_windows: int
-    num_nonempty_windows: int
-    collector: OccupancyCollector
+    geometry: SeriesGeometry
+    collectors: dict[str, Any]
+    payloads: dict[str, Any]
 
 
 @dataclass(frozen=True)
-class OccupancyShardTask(DeltaTask):
-    """One target-partition shard of an :class:`OccupancyTask`.
+class AnalysisShardTask(DeltaTask):
+    """One target-partition shard of an :class:`AnalysisTask`.
 
-    Shard ``shard_index`` of ``num_shards`` aggregates at Δ like the full
-    task but scans only the minimal trips *arriving* at nodes
-    ``shard_index + k * num_shards`` (the arrival-matrix columns are
-    independent dynamic programs, so the restricted scan does
-    proportionally less work and its trips are exactly the full scan's
-    trips with destination in the shard).  The shard spec is part of the
-    cache key, so shard results never collide with full sweep points or
-    with other shard layouts.  Scoring ``methods`` are deliberately not
-    part of a shard: the result is a raw collector, scoring happens at
-    merge time, so sweeps differing only in methods share shard entries.
+    Shard ``shard_index`` of ``num_shards`` aggregates at Δ like the
+    full task (through the shared series memo, so sibling shards in one
+    process aggregate once) but scans only the minimal trips *arriving*
+    at nodes ``shard_index + k * num_shards`` — the arrival-matrix
+    columns are independent dynamic programs, so the restricted scan
+    does proportionally less work and every measure's collector receives
+    exactly the full scan's contributions for the shard's destinations.
+    The shard spec is part of the cache key, so shard results never
+    collide with per-measure results or with other shard layouts.  Pure
+    post-processing parameters (scoring methods) are deliberately *not*
+    part of a shard: the result is raw collectors, finalization happens
+    at merge time, so sweeps differing only in scoring share shard
+    entries.
     """
 
-    bins: int = 4096
-    exact: bool = False
+    measures: tuple[MeasureSpec, ...] = ()
     include_self: bool = False
     origin: float | None = None
     shard_index: int = 0
     num_shards: int = 1
 
     def __post_init__(self) -> None:
+        if not self.measures:
+            raise EngineError("an AnalysisShardTask needs at least one measure")
         if self.num_shards < 1:
             raise EngineError("num_shards must be a positive integer")
         if not 0 <= self.shard_index < self.num_shards:
@@ -306,66 +587,90 @@ class OccupancyShardTask(DeltaTask):
 
     @property
     def kind(self) -> str:
-        return "occupancy-shard"
+        return "analysis-shard"
+
+    @property
+    def carries_payload(self) -> bool:
+        """Per-series payload work rides on shard 0 alone."""
+        return self.shard_index == 0
 
     def _token(self) -> tuple:
         return (
-            self.bins,
-            self.exact,
+            tuple(
+                (m.name, m.collector_token()) for m in self.measures if m.scans
+            ),
+            tuple(
+                m.name
+                for m in self.measures
+                if m.has_payload and self.carries_payload
+            ),
             self.include_self,
-            None if self.origin is None else repr(float(self.origin)),
+            _origin_token(self.origin),
             self.shard_index,
             self.num_shards,
         )
 
-    def evaluate(self, stream: LinkStream) -> OccupancyShardResult:
-        series = _aggregate_memoized(stream, float(self.delta), self.origin)
+    def evaluate(self, stream: LinkStream) -> AnalysisShardResult:
+        series = aggregate_cached(stream, float(self.delta), origin=self.origin)
         targets = np.arange(
             self.shard_index, series.num_nodes, self.num_shards, dtype=np.int64
         )
-        collector = series_occupancy_shard(
-            series,
-            targets,
-            bins=self.bins,
-            exact=self.exact,
-            include_self=self.include_self,
+        collectors = {
+            m.name: m.make_collector() for m in self.measures if m.scans
+        }
+        if collectors:
+            scan_series(
+                series,
+                list(collectors.values()),
+                include_self=self.include_self,
+                targets=targets,
+            )
+        payloads = (
+            {
+                m.name: m.series_payload(series)
+                for m in self.measures
+                if m.has_payload
+            }
+            if self.carries_payload
+            else {}
         )
-        return OccupancyShardResult(
+        return AnalysisShardResult(
             delta=float(self.delta),
             shard_index=self.shard_index,
             num_shards=self.num_shards,
-            num_windows=series.num_steps,
-            num_nonempty_windows=int(series.nonempty_steps().size),
-            collector=collector,
+            geometry=SeriesGeometry(
+                num_nodes=series.num_nodes,
+                num_windows=series.num_steps,
+                num_nonempty_windows=int(series.nonempty_steps().size),
+            ),
+            collectors=collectors,
+            payloads=payloads,
         )
 
 
-@dataclass(frozen=True)
-class ClassicalTask(DeltaTask):
-    """Aggregate at Δ and measure the classical parameters (Section 3)."""
+def plan_measure_sweep(
+    deltas: np.ndarray,
+    measures: "Sequence[str | MeasureSpec] | str | MeasureSpec",
+    *,
+    include_self: bool = False,
+    origin: float | None = None,
+) -> list[AnalysisTask]:
+    """One fused :class:`AnalysisTask` per candidate Δ, in grid order.
 
-    compute_distances: bool = True
-    origin: float | None = None
-
-    @property
-    def kind(self) -> str:
-        return "classical"
-
-    def _token(self) -> tuple:
-        return (
-            self.compute_distances,
-            None if self.origin is None else repr(float(self.origin)),
+    ``measures`` accepts measure names, :class:`MeasureSpec` instances,
+    or a mix; every Δ evaluates the whole set from one aggregation and
+    one scan.
+    """
+    measure_set = normalize_measures(measures)
+    return [
+        AnalysisTask(
+            delta=float(delta),
+            measures=measure_set,
+            include_self=include_self,
+            origin=origin,
         )
-
-    def evaluate(self, stream: LinkStream):
-        from repro.core.classical import ClassicalPoint
-
-        series = aggregate(stream, float(self.delta), origin=self.origin)
-        snapshot_stats = series_metrics(series)
-        distances = None
-        if self.compute_distances:
-            distances = scan_series(series, compute_distances=True).distances
-        return ClassicalPoint(float(self.delta), snapshot_stats, distances)
+        for delta in np.asarray(deltas, dtype=np.float64)
+    ]
 
 
 def plan_occupancy_sweep(
@@ -376,19 +681,34 @@ def plan_occupancy_sweep(
     exact: bool = False,
     include_self: bool = False,
     origin: float | None = None,
-) -> list[OccupancyTask]:
-    """One :class:`OccupancyTask` per candidate Δ, in grid order."""
-    return [
-        OccupancyTask(
-            delta=float(delta),
-            methods=tuple(methods),
-            bins=bins,
-            exact=exact,
-            include_self=include_self,
-            origin=origin,
-        )
-        for delta in np.asarray(deltas, dtype=np.float64)
-    ]
+) -> list[AnalysisTask]:
+    """An occupancy-only measure sweep (sugar over
+    :func:`plan_measure_sweep`).  Each task's result is a dict with one
+    ``"occupancy"`` entry holding the
+    :class:`~repro.core.saturation.SweepPoint`."""
+    return plan_measure_sweep(
+        deltas,
+        OccupancyMeasure(methods=tuple(methods), bins=bins, exact=exact),
+        include_self=include_self,
+        origin=origin,
+    )
+
+
+def plan_classical_sweep(
+    deltas: np.ndarray,
+    *,
+    compute_distances: bool = True,
+    origin: float | None = None,
+) -> list[AnalysisTask]:
+    """A classical-parameters measure sweep (sugar over
+    :func:`plan_measure_sweep`).  Each task's result is a dict with one
+    ``"classical"`` (or, without distances, ``"metrics"``) entry holding
+    the :class:`~repro.core.classical.ClassicalPoint`."""
+    return plan_measure_sweep(
+        deltas,
+        ClassicalMeasure() if compute_distances else MetricsMeasure(),
+        origin=origin,
+    )
 
 
 @dataclass(frozen=True)
@@ -429,20 +749,3 @@ def plan_shard_expansion(tasks: Sequence[DeltaTask], num_shards: int) -> ShardPl
             groups.append((start, 1))
             sharded.append(False)
     return ShardPlan(subtasks=subtasks, groups=groups, sharded=sharded)
-
-
-def plan_classical_sweep(
-    deltas: np.ndarray,
-    *,
-    compute_distances: bool = True,
-    origin: float | None = None,
-) -> list[ClassicalTask]:
-    """One :class:`ClassicalTask` per candidate Δ, in grid order."""
-    return [
-        ClassicalTask(
-            delta=float(delta),
-            compute_distances=compute_distances,
-            origin=origin,
-        )
-        for delta in np.asarray(deltas, dtype=np.float64)
-    ]

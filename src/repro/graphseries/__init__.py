@@ -12,8 +12,10 @@ per-snapshot graph metrics.
 from repro.graphseries.aggregation import (
     aggregate,
     aggregate_adaptive,
+    aggregate_cached,
     aggregate_cumulative,
     aggregate_overlapping,
+    clear_aggregate_cache,
     window_index,
 )
 from repro.graphseries.metrics import (
@@ -29,6 +31,8 @@ __all__ = [
     "Snapshot",
     "GraphSeries",
     "aggregate",
+    "aggregate_cached",
+    "clear_aggregate_cache",
     "aggregate_overlapping",
     "aggregate_cumulative",
     "aggregate_adaptive",

@@ -15,11 +15,21 @@ adaptive variable-length windows that close once the forming snapshot
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from typing import Any
+
 import numpy as np
 
 from repro.graphseries.series import GraphSeries
 from repro.linkstream.stream import LinkStream
 from repro.utils.errors import AggregationError
+
+#: Aggregation instrumentation: how many series this process has
+#: materialized (cache hits served by :func:`aggregate_cached` do not
+#: count).  The measure-fusion tests and benches assert "one aggregation
+#: per Δ" against this tally; it has no behavioural effect.
+AGGREGATION_COUNTS = {"aggregate": 0}
 
 
 def window_index(
@@ -66,6 +76,7 @@ def aggregate(
         raise AggregationError("cannot aggregate an empty stream")
     if delta <= 0:
         raise AggregationError(f"window length must be positive, got {delta}")
+    AGGREGATION_COUNTS["aggregate"] += 1
     if origin is None:
         origin = stream.t_min
     elif origin > stream.t_min:
@@ -89,6 +100,94 @@ def aggregate(
         delta=float(delta),
         origin=float(origin),
     )
+
+
+#: Small per-process memo of aggregated series, keyed on content
+#: (stream fingerprint, Δ, origin), so every consumer of the same
+#: ``G_Δ`` — the shards of one sweep task, a one-shot occupancy call, a
+#: validation pass — shares one materialization instead of re-windowing
+#: the stream.  Content keys can never serve a stale series; the bound
+#: keeps a long sweep from hoarding memory.
+_SERIES_MEMO: OrderedDict[tuple, Any] = OrderedDict()
+#: Keys currently being aggregated, so concurrent callers wanting one Δ
+#: wait for the first thread's result instead of all recomputing it.
+_SERIES_IN_FLIGHT: dict[tuple, threading.Event] = {}
+_SERIES_MEMO_LOCK = threading.Lock()
+_SERIES_MEMO_MAX = 4
+
+
+def clear_aggregate_cache() -> None:
+    """Drop all memoized aggregated series (in this process).
+
+    The memo deliberately outlives individual sweeps — validation and
+    one-shot helpers re-read the series a sweep just built — and is
+    bounded to the :data:`_SERIES_MEMO_MAX` most recent entries, so at
+    most that many aggregated series stay pinned.  Call this to release
+    the memory sooner (e.g. after analyzing a very large stream in a
+    long-lived process).  Pool worker processes keep their own bounded
+    memos; those die with the pool.
+    """
+    with _SERIES_MEMO_LOCK:
+        _SERIES_MEMO.clear()
+
+
+def aggregate_cached(
+    stream: LinkStream,
+    delta: float,
+    *,
+    origin: float | None = None,
+) -> GraphSeries:
+    """:func:`aggregate`, behind the process-wide bounded series memo.
+
+    Bit-identical to :func:`aggregate` — a :class:`GraphSeries` is
+    immutable, so sharing one instance is free correctness-wise.  Use it
+    anywhere a ``(stream, Δ)`` aggregation may repeat: the engine's
+    fused per-Δ tasks, their destination shards, and the one-shot
+    helpers (:func:`~repro.core.occupancy.stream_occupancy_at`,
+    validation, spreading fidelity) all route through here, so an
+    interactive call warms the same memo a sweep reads.  Thread-safe;
+    concurrent requests for one key aggregate once.
+    """
+    # An explicit origin equal to the default (the first event) keys the
+    # same as no origin: the series are identical, and callers that
+    # resolve the default themselves (validation) must still hit entries
+    # warmed by callers that do not (the sweep engine).
+    if origin is not None and float(origin) == stream.t_min:
+        origin = None
+    key = (
+        stream.fingerprint(),
+        repr(float(delta)),
+        None if origin is None else repr(float(origin)),
+    )
+    with _SERIES_MEMO_LOCK:
+        if key in _SERIES_MEMO:
+            _SERIES_MEMO.move_to_end(key)
+            return _SERIES_MEMO[key]
+        pending = _SERIES_IN_FLIGHT.get(key)
+        if pending is None:
+            _SERIES_IN_FLIGHT[key] = threading.Event()
+    if pending is not None:
+        pending.wait()
+        with _SERIES_MEMO_LOCK:
+            series = _SERIES_MEMO.get(key)
+        if series is not None:
+            return series
+        # The computing thread failed or the entry was evicted under
+        # memory pressure; fall through and aggregate locally.
+        return aggregate(stream, float(delta), origin=origin)
+    try:
+        series = aggregate(stream, float(delta), origin=origin)
+        with _SERIES_MEMO_LOCK:
+            _SERIES_MEMO[key] = series
+            _SERIES_MEMO.move_to_end(key)
+            while len(_SERIES_MEMO) > _SERIES_MEMO_MAX:
+                _SERIES_MEMO.popitem(last=False)
+        return series
+    finally:
+        with _SERIES_MEMO_LOCK:
+            event = _SERIES_IN_FLIGHT.pop(key, None)
+        if event is not None:
+            event.set()
 
 
 def aggregate_overlapping(

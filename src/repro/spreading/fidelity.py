@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graphseries.aggregation import aggregate, window_index
+from repro.graphseries.aggregation import aggregate_cached, window_index
 from repro.linkstream.stream import LinkStream
 from repro.spreading.si import si_spread_series, si_spread_stream
 from repro.utils.errors import ValidationError
@@ -97,7 +97,10 @@ def reachability_fidelity(
 
     points = []
     for delta in np.asarray(deltas, dtype=np.float64):
-        series = aggregate(stream, float(delta), origin=origin)
+        # Shares the process-wide series memo with the sweep engine, so
+        # probing Δ values a sweep already aggregated costs no window
+        # pass.
+        series = aggregate_cached(stream, float(delta), origin=origin)
         jaccards = []
         ratios = []
         for (node, t_start), truth in zip(probes, stream_sets):

@@ -25,9 +25,11 @@ from repro.temporal.paths import (
 )
 from repro.temporal.reachability import (
     DistanceStats,
+    DistanceTotals,
     ScanResult,
     scan_series,
     scan_stream,
+    series_distance_stats,
 )
 from repro.temporal.trips import PairTripIndex, TripSet, check_pareto
 
@@ -42,8 +44,10 @@ __all__ = [
     "ChainCollector",
     "scan_series",
     "scan_stream",
+    "series_distance_stats",
     "ScanResult",
     "DistanceStats",
+    "DistanceTotals",
     "forward_earliest_arrival",
     "earliest_arrival_path",
     "temporal_path_is_valid",

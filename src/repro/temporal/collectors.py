@@ -124,7 +124,14 @@ class CountingCollector:
 
 
 class ChainCollector:
-    """Fans every batch out to several collectors."""
+    """Fans every batch out to several collectors.
+
+    :func:`~repro.temporal.reachability.scan_series` accepts a sequence
+    of consumers directly (the fused measure pipeline), which is the
+    preferred spelling; this wrapper remains for callers that need a
+    single collector-shaped object (e.g. :func:`scan_stream` pipelines
+    built around one collector slot).
+    """
 
     def __init__(self, *collectors: TripCollector) -> None:
         self._collectors = collectors

@@ -29,6 +29,26 @@ raw link stream by treating each distinct timestamp as a window and
 switching the duration convention from ``arr - dep + 1`` (window counts)
 to ``arr - dep`` (Definition 4).
 
+One scan, many measures
+-----------------------
+:func:`scan_series` accepts a *set* of consumers and feeds them all from
+a single backward pass, so evaluating several measures of one aggregated
+series (occupancy rates, distance statistics, full trip lists) costs one
+scan, not one scan per measure.  Two consumer shapes exist:
+
+* **trip collectors** (anything with ``record(...)`` — the
+  :class:`~repro.temporal.collectors.TripCollector` protocol) receive
+  every minimal-trip batch the scan discovers;
+* **state accumulators** (anything with ``observe_row(...)`` /
+  ``close_run(...)`` — see :class:`DistanceTotals`) watch the arrival
+  matrix itself and fold per-departure-step quantities in closed form.
+
+:class:`DistanceTotals` is the accumulator behind the classical distance
+statistics (Figure 2 bottom); it used to be hard-wired into the scan via
+a ``compute_distances`` flag and is now an ordinary member of the
+consumer set, mergeable across destination shards exactly like the trip
+collectors.
+
 The recursion couples the *rows* of the state (row ``u`` reads the rows
 of ``u``'s out-neighbours) but never its columns: ``A[u, v]`` depends
 only on entries ``A[w, v]`` of the same column ``v``.  Each column — one
@@ -37,20 +57,22 @@ what :func:`scan_series`'s ``targets=`` restriction exploits: the state
 shrinks to the chosen columns, per-window work drops proportionally, and
 the trips found are exactly the full scan's trips whose destination lies
 in the subset.  Disjoint target subsets covering ``V`` partition the
-trip set, so sharded scans merge back bit-identically (the engine's
-within-Δ sharding, :mod:`repro.engine.tasks`).
+trip set — and partition the finite arrival entries, so a restricted
+:class:`DistanceTotals` holds exactly the full scan's contributions for
+its columns.  Sharded scans therefore merge back bit-identically for
+*every* measure (the engine's within-Δ sharding,
+:mod:`repro.engine.tasks`).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graphseries.series import GraphSeries
 from repro.linkstream.stream import LinkStream
-from repro.temporal.collectors import TripCollector
 from repro.utils.errors import ValidationError
 
 #: Sentinel for "unreachable" in integer arrival matrices.  Kept far from
@@ -58,6 +80,12 @@ from repro.utils.errors import ValidationError
 INT_INF = np.iinfo(np.int64).max // 4
 #: Sentinel for "no hop count" (unreachable entries).
 HOP_INF = np.iinfo(np.int64).max // 4
+
+#: Scan instrumentation: how many backward passes this process has run.
+#: The measure-fusion tests and benches assert "one scan per Δ" against
+#: these counters; they are plain tallies with no behavioural effect
+#: (each worker process keeps its own).
+SCAN_COUNTS = {"series": 0, "stream": 0}
 
 
 @dataclass(frozen=True)
@@ -77,13 +105,158 @@ class DistanceStats:
     reachable_count: int
 
 
+class DistanceTotals:
+    """Accumulates the classical distance sums from a backward scan.
+
+    The scan exposes two hooks.  :meth:`observe_row` sees every state-row
+    update (the pre- and post-window arrival/hop rows of the touched
+    source) and maintains the current window-state totals ``S = Σ A``,
+    ``C = #finite``, ``SH = Σ H`` over finite non-diagonal entries.
+    :meth:`close_run` folds those totals into the departure-step sums for
+    a run of steps over which the state is constant (every step between
+    two nonempty windows sees the same reachability picture), in closed
+    form.
+
+    All sums are kept as exact Python integers — every contribution is an
+    integer, so the accumulated totals are associative under
+    :meth:`merge` regardless of shard layout or merge order, and the
+    final means divide once at :meth:`stats` time.  (The former
+    float-accumulation path agreed bit-for-bit below 2**53 but was
+    neither shard-stable nor exact beyond it.)
+
+    A scan restricted to a destination subset (``targets=``) accumulates
+    exactly the full scan's contributions for its columns: columns are
+    independent dynamic programs and the diagonal entry ``(u, u)`` lives
+    in exactly one shard.  Disjoint shards covering the node set
+    therefore :meth:`merge` back into precisely the unrestricted
+    accumulator.
+    """
+
+    __slots__ = ("S", "C", "SH", "dist_sum", "hops_sum", "count_sum")
+
+    def __init__(self) -> None:
+        self.S = 0
+        self.C = 0
+        self.SH = 0
+        self.dist_sum = 0
+        self.hops_sum = 0
+        self.count_sum = 0
+
+    def observe_row(
+        self,
+        old_A: np.ndarray,
+        old_H: np.ndarray,
+        new_A: np.ndarray,
+        new_H: np.ndarray,
+        self_col: int,
+    ) -> None:
+        """Fold one source-row update into the window-state totals.
+
+        ``self_col`` is the column position of the row's own node (the
+        diagonal entry, excluded from distance statistics), or -1 when
+        the scan's target restriction excludes that node.
+        """
+        old_finite = old_A < INT_INF
+        new_finite = new_A < INT_INF
+        if self_col >= 0:
+            old_finite[self_col] = False
+            new_finite[self_col] = False
+        self.S += int(new_A[new_finite].sum()) - int(old_A[old_finite].sum())
+        self.C += int(new_finite.sum()) - int(old_finite.sum())
+        self.SH += int(new_H[new_finite].sum()) - int(old_H[old_finite].sum())
+
+    def close_run(self, t_low: int, t_high: int) -> None:
+        """Fold the current state into the sums for departures in
+        ``[t_low, t_high]``.
+
+        For each departure step ``t`` in the run, every finite entry
+        contributes ``A - t + 1`` to the distance-in-steps sum and ``H``
+        to the hops sum; with ``S``, ``C``, ``SH`` constant across the
+        run this folds into closed form.
+        """
+        if t_high < t_low:
+            return
+        run_len = t_high - t_low + 1
+        t_total = (t_low + t_high) * run_len // 2
+        self.dist_sum += run_len * (self.S + self.C) - self.C * t_total
+        self.hops_sum += run_len * self.SH
+        self.count_sum += run_len * self.C
+
+    def merge(self, other: "DistanceTotals") -> "DistanceTotals":
+        """Absorb another accumulator's sums (in-place; returns ``self``).
+
+        The inverse of sharding a scan: accumulators fed from disjoint
+        target shards of the same series sum back — all six tallies are
+        exact integers — to precisely the accumulator an unrestricted
+        scan would have produced.
+        """
+        if not isinstance(other, DistanceTotals):
+            raise ValidationError(
+                f"cannot merge DistanceTotals with {type(other).__name__}"
+            )
+        self.S += other.S
+        self.C += other.C
+        self.SH += other.SH
+        self.dist_sum += other.dist_sum
+        self.hops_sum += other.hops_sum
+        self.count_sum += other.count_sum
+        return self
+
+    def stats(self, num_nodes: int, num_steps: int) -> DistanceStats:
+        """Assemble the accumulated sums into :class:`DistanceStats`.
+
+        ``num_nodes`` and ``num_steps`` give the support of the means —
+        the *full* series geometry, so shard accumulators must be merged
+        first (a lone shard would report a fraction over the wrong
+        denominator).
+        """
+        total_possible = num_nodes * (num_nodes - 1) * num_steps
+        count = self.count_sum
+        return DistanceStats(
+            mean_distance_steps=self.dist_sum / count if count else float("inf"),
+            mean_distance_hops=self.hops_sum / count if count else float("inf"),
+            reachable_fraction=count / total_possible if total_possible else 0.0,
+            reachable_count=count,
+        )
+
+
 @dataclass(frozen=True)
 class ScanResult:
     """Outcome of a backward scan."""
 
     num_trips: int
     num_steps: int
-    distances: DistanceStats | None
+
+
+def _split_consumers(collector) -> tuple[list, list]:
+    """Normalize the ``collector`` argument into (trip collectors,
+    state accumulators).
+
+    Accepts ``None``, a single consumer, or a sequence of consumers.
+    Trip collectors implement ``record`` (the
+    :class:`~repro.temporal.collectors.TripCollector` protocol); state
+    accumulators implement ``observe_row`` (:class:`DistanceTotals`).
+    """
+    if collector is None:
+        return [], []
+    items = (
+        list(collector)
+        if isinstance(collector, (list, tuple))
+        else [collector]
+    )
+    trip_collectors: list = []
+    accumulators: list = []
+    for item in items:
+        if hasattr(item, "observe_row"):
+            accumulators.append(item)
+        elif hasattr(item, "record"):
+            trip_collectors.append(item)
+        else:
+            raise ValidationError(
+                f"{type(item).__name__} is neither a trip collector "
+                "(record) nor a state accumulator (observe_row)"
+            )
+    return trip_collectors, accumulators
 
 
 def _expand_undirected(u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -97,10 +270,10 @@ def _process_group(
     time_value,
     us: np.ndarray,
     vs: np.ndarray,
-    collector: TripCollector | None,
+    collectors: list,
     include_self: bool,
     duration_extra,
-    totals: dict | None,
+    accumulators: list,
     col_of: np.ndarray | None = None,
     cols: np.ndarray | None = None,
 ) -> int:
@@ -108,7 +281,9 @@ def _process_group(
 
     ``us``/``vs`` are directed hops (already expanded for undirected
     input), deduplicated within the group.  All continuation reads come
-    from a pre-window stash so intra-window updates never chain.
+    from a pre-window stash so intra-window updates never chain.  Every
+    trip collector receives every batch; every accumulator sees every
+    row update.
 
     When the scan is restricted to a destination subset, ``cols`` holds
     the selected node ids (the state's column order) and ``col_of`` maps
@@ -158,14 +333,10 @@ def _process_group(
         A[u] = new_A
         H[u] = new_H
 
-        if totals is not None:
-            old_finite = old_A < totals["inf"]
-            new_finite = new_A < totals["inf"]
-            old_finite[u] = False
-            new_finite[u] = False
-            totals["S"] += int(new_A[new_finite].sum()) - int(old_A[old_finite].sum())
-            totals["C"] += int(new_finite.sum()) - int(old_finite.sum())
-            totals["SH"] += int(new_H[new_finite].sum()) - int(old_H[old_finite].sum())
+        if accumulators:
+            self_col = u if col_of is None else int(col_of[u])
+            for accumulator in accumulators:
+                accumulator.observe_row(old_A, old_H, new_A, new_H, self_col)
 
         record = improved.copy()
         if not include_self:
@@ -177,16 +348,15 @@ def _process_group(
                     record[u_col] = False
         chosen = np.nonzero(record)[0]
         trips_recorded += chosen.size
-        if collector is not None and chosen.size:
+        if collectors and chosen.size:
             arrivals = new_A[chosen]
-            collector.record(
-                u,
-                time_value,
-                chosen if cols is None else cols[chosen],
-                arrivals,
-                new_H[chosen],
-                arrivals - time_value + duration_extra,
-            )
+            node_targets = chosen if cols is None else cols[chosen]
+            hops = new_H[chosen]
+            durations = arrivals - time_value + duration_extra
+            for collector in collectors:
+                collector.record(
+                    u, time_value, node_targets, arrivals, hops, durations
+                )
     return trips_recorded
 
 
@@ -217,10 +387,9 @@ def _target_columns(
 
 def scan_series(
     series: GraphSeries,
-    collector: TripCollector | None = None,
+    collector=None,
     *,
     include_self: bool = False,
-    compute_distances: bool = False,
     targets: np.ndarray | None = None,
 ) -> ScanResult:
     """Run the backward scan over a graph series.
@@ -230,100 +399,78 @@ def scan_series(
     series:
         The aggregated series ``G_Δ``.
     collector:
-        Receives every minimal trip found (durations in window counts,
-        ``arr - dep + 1``).  ``None`` to only count trips.
+        One consumer, a sequence of consumers, or ``None`` to only count
+        trips.  Trip collectors (``record``) receive every minimal trip
+        found (durations in window counts, ``arr - dep + 1``); state
+        accumulators (``observe_row`` — e.g. :class:`DistanceTotals` for
+        the classical distance statistics) watch the arrival-matrix rows
+        themselves.  All consumers are fed from this **single** backward
+        pass — the primitive behind the engine's fused measure pipeline.
     include_self:
         Whether to report cyclic trips ``u -> ... -> u`` (the paper
-        considers pairs of distinct nodes; off by default).
-    compute_distances:
-        Also accumulate the classical distance statistics
-        (:class:`DistanceStats`) over *all* departure steps — the
-        quantities plotted in Figure 2 bottom.  Costs nothing extra per
-        window beyond the touched rows, plus a closed-form fill-in for
-        runs of empty windows.
+        considers pairs of distinct nodes; off by default).  Applies to
+        every trip collector of the set; distance accumulators always
+        exclude the diagonal, per the definition.
     targets:
         Optional node-id subset restricting the scan to minimal trips
         *arriving* in the subset.  The arrival-matrix columns are
         independent dynamic programs (see the module docstring), so the
-        restricted scan does proportionally less work and finds exactly
-        the full scan's trips with destination in ``targets`` — the
-        primitive behind within-Δ sharding.  Incompatible with
-        ``compute_distances`` (distance statistics are defined over all
-        pairs).
+        restricted scan does proportionally less work and feeds every
+        consumer exactly the full scan's contributions for destinations
+        in ``targets`` — the primitive behind within-Δ sharding.  A
+        restricted :class:`DistanceTotals` holds partial sums; merge the
+        shards before calling :meth:`~DistanceTotals.stats`.
     """
+    SCAN_COUNTS["series"] += 1
     n = series.num_nodes
-    if targets is not None and compute_distances:
-        raise ValidationError(
-            "distance statistics are defined over all node pairs; "
-            "drop the targets restriction or compute_distances"
-        )
+    collectors, accumulators = _split_consumers(collector)
     cols, col_of, width = _target_columns(targets, n)
     A = np.full((n, width), INT_INF, dtype=np.int64)
     H = np.full((n, width), HOP_INF, dtype=np.int64)
-    totals = {"S": 0, "C": 0, "SH": 0, "inf": INT_INF} if compute_distances else None
 
-    dist_sum = 0.0
-    hops_sum = 0.0
-    count_sum = 0
     num_trips = 0
     last_processed: int | None = None
 
     for step, u, v in series.edge_groups(reverse=True):
-        if totals is not None and last_processed is not None:
+        if accumulators and last_processed is not None:
             # The current state (built from windows > step) is the exact
             # reachability picture for every departure step t in
             # [step + 1, last_processed]: no edges exist in between.
-            dist_sum, hops_sum, count_sum = _accumulate_run(
-                totals, step + 1, last_processed, dist_sum, hops_sum, count_sum
-            )
+            for accumulator in accumulators:
+                accumulator.close_run(step + 1, last_processed)
         if not series.directed:
             u, v = _expand_undirected(u, v)
         num_trips += _process_group(
-            A, H, step, u, v, collector, include_self, 1, totals, col_of, cols
+            A, H, step, u, v, collectors, include_self, 1, accumulators,
+            col_of, cols,
         )
         last_processed = step
 
-    distances: DistanceStats | None = None
-    if totals is not None:
-        if last_processed is not None:
-            # Departures at or below the earliest nonempty window all see
-            # the final state.
-            dist_sum, hops_sum, count_sum = _accumulate_run(
-                totals, 0, last_processed, dist_sum, hops_sum, count_sum
-            )
-        total_possible = n * (n - 1) * series.num_steps
-        distances = DistanceStats(
-            mean_distance_steps=dist_sum / count_sum if count_sum else float("inf"),
-            mean_distance_hops=hops_sum / count_sum if count_sum else float("inf"),
-            reachable_fraction=count_sum / total_possible if total_possible else 0.0,
-            reachable_count=count_sum,
-        )
-    return ScanResult(num_trips=num_trips, num_steps=series.num_steps, distances=distances)
+    if accumulators and last_processed is not None:
+        # Departures at or below the earliest nonempty window all see
+        # the final state.
+        for accumulator in accumulators:
+            accumulator.close_run(0, last_processed)
+    return ScanResult(num_trips=num_trips, num_steps=series.num_steps)
 
 
-def _accumulate_run(
-    totals: dict,
-    t_low: int,
-    t_high: int,
-    dist_sum: float,
-    hops_sum: float,
-    count_sum: int,
-) -> tuple[float, float, int]:
-    """Fold the state into the distance sums for departures in [t_low, t_high].
+def series_distance_stats(
+    series: GraphSeries,
+    *,
+    targets: np.ndarray | None = None,
+) -> DistanceStats:
+    """Classical distance statistics of a series in one dedicated scan.
 
-    For each departure step ``t`` in the run, every finite entry
-    contributes ``A - t + 1`` to the distance-in-steps sum and ``H`` to
-    the hops sum; with ``S = Σ A``, ``C = #finite``, ``SH = Σ H`` constant
-    across the run this folds into closed form.
+    Convenience wrapper over ``scan_series(series, DistanceTotals())`` —
+    the measure pipeline (:mod:`repro.engine.tasks`) fuses the same
+    accumulator with other measures instead of paying a scan per measure.
+    With ``targets`` the statistics cover only trips arriving in the
+    subset (the means and fraction are still normalized by the full
+    geometry — merge shard accumulators yourself when sharding).
     """
-    if t_high < t_low:
-        return dist_sum, hops_sum, count_sum
-    run_len = t_high - t_low + 1
-    t_total = (t_low + t_high) * run_len // 2
-    dist_sum += run_len * (totals["S"] + totals["C"]) - totals["C"] * t_total
-    hops_sum += run_len * totals["SH"]
-    count_sum += run_len * totals["C"]
-    return dist_sum, hops_sum, count_sum
+    totals = DistanceTotals()
+    scan_series(series, totals, targets=targets)
+    return totals.stats(series.num_nodes, series.num_steps)
 
 
 def _stream_groups(stream: LinkStream) -> Iterator[tuple[float, np.ndarray, np.ndarray]]:
@@ -353,7 +500,7 @@ def _stream_groups(stream: LinkStream) -> Iterator[tuple[float, np.ndarray, np.n
 
 def scan_stream(
     stream: LinkStream,
-    collector: TripCollector | None = None,
+    collector=None,
     *,
     include_self: bool = False,
 ) -> ScanResult:
@@ -363,9 +510,18 @@ def scan_stream(
     link-stream convention ``arr - dep`` (Definition 4), so single-event
     trips have duration 0.  Used to compute the original stream's minimal
     trips and shortest transitions for the validation measures
-    (Section 8).
+    (Section 8).  ``collector`` accepts one trip collector or a sequence
+    of them; state accumulators are series-only (the closed-form run
+    folding assumes integer window indices).
     """
+    SCAN_COUNTS["stream"] += 1
     n = stream.num_nodes
+    collectors, accumulators = _split_consumers(collector)
+    if accumulators:
+        raise ValidationError(
+            "state accumulators (distance statistics) are defined on "
+            "aggregated series; scan_stream only feeds trip collectors"
+        )
     float_time = stream.timestamps.dtype.kind == "f"
     if float_time:
         A = np.full((n, n), np.inf, dtype=np.float64)
@@ -381,6 +537,6 @@ def scan_stream(
         if not stream.directed:
             u, v = _expand_undirected(u, v)
         num_trips += _process_group(
-            A, H, time_value, u, v, collector, include_self, duration_extra, None
+            A, H, time_value, u, v, collectors, include_self, duration_extra, []
         )
-    return ScanResult(num_trips=num_trips, num_steps=num_groups, distances=None)
+    return ScanResult(num_trips=num_trips, num_steps=num_groups)

@@ -1,0 +1,164 @@
+"""Tests for the disk store's size cap + LRU sweep and the ``repro
+cache`` CLI subcommand."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine import MISS, DiskStore, SweepCache, SweepEngine
+from repro.generators import time_uniform_stream
+from repro.core import occupancy_method
+from repro.utils.errors import EngineError
+
+
+def key(i: int) -> str:
+    return f"{i:02x}" * 32
+
+
+def put_sized(store: DiskStore, k: str, size: int) -> None:
+    store.put(k, b"x" * size)
+
+
+class TestDiskEviction:
+    def test_cap_validated(self, tmp_path):
+        with pytest.raises(EngineError):
+            DiskStore(tmp_path, max_bytes=0)
+
+    def test_uncapped_store_never_evicts(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for i in range(20):
+            put_sized(store, key(i), 512)
+        assert store.stats()["entries"] == 20
+        assert store.stats()["max_bytes"] is None
+
+    def test_oldest_entries_swept_once_over_cap(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=4096)
+        for i in range(8):
+            put_sized(store, key(i), 1024)
+            time.sleep(0.01)  # distinct mtimes on coarse filesystems
+        stats = store.stats()
+        assert stats["bytes"] <= 4096
+        # The newest entries survive; the oldest were swept.
+        assert store.get(key(7)) is not MISS
+        assert store.get(key(0)) is MISS
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=3 * 1024 + 512)
+        for i in range(3):
+            put_sized(store, key(i), 1024)
+            time.sleep(0.01)
+        assert store.get(key(0)) is not MISS  # touch: 0 is now most recent
+        time.sleep(0.01)
+        put_sized(store, key(3), 1024)  # over cap -> sweep LRU (which is 1)
+        assert store.get(key(0)) is not MISS
+        assert store.get(key(1)) is MISS
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=1 << 20)
+        for i in range(5):
+            put_sized(store, key(i), 128)
+        assert store.clear() == 5
+        assert store.stats() == {"entries": 0, "bytes": 0, "max_bytes": 1 << 20}
+        assert store.get(key(0)) is MISS
+
+    def test_capped_engine_sweep_stays_correct(self, tmp_path):
+        # A cap small enough to evict mid-sweep must never corrupt
+        # results: evictions only cost recomputation.
+        stream = time_uniform_stream(10, 5, 4000.0, seed=3)
+        capped = SweepEngine(
+            cache=SweepCache.build(
+                memory=False, disk_dir=tmp_path, disk_max_bytes=8 * 1024
+            )
+        )
+        reference = occupancy_method(
+            stream, num_deltas=8, engine=SweepEngine(cache=None)
+        )
+        result = occupancy_method(stream, num_deltas=8, engine=capped)
+        rerun = occupancy_method(stream, num_deltas=8, engine=capped)
+        for r in (result, rerun):
+            assert r.gamma == reference.gamma
+            assert [p.scores for p in r.points] == [
+                p.scores for p in reference.points
+            ]
+        assert DiskStore(tmp_path).stats()["bytes"] <= 8 * 1024
+
+    def test_env_var_caps_default_engine(self, tmp_path, monkeypatch):
+        from repro.engine import engine_from_env
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "123456")
+        engine = engine_from_env()
+        disk = engine.cache.stores[-1]
+        assert isinstance(disk, DiskStore)
+        assert disk.max_bytes == 123456
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        with pytest.raises(EngineError):
+            engine_from_env()
+
+
+class TestCacheCli:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        store = DiskStore(tmp_path)
+        for i in range(3):
+            put_sized(store, key(i), 64)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 3" in out
+        assert "size cap: none" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_env_var_default_dir_and_cap(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        put_sized(DiskStore(tmp_path), key(1), 64)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "4096 bytes" in out
+
+    def test_missing_dir_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "cache directory" in capsys.readouterr().err
+
+    def test_nonexistent_dir_is_not_created(self, tmp_path, capsys):
+        # Regression: a typo'd --cache-dir used to be mkdir'd and
+        # reported as a convincing empty store.
+        missing = tmp_path / "typo"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_malformed_cap_fails_cleanly(self, tmp_path, capsys, monkeypatch):
+        # Regression: a bad REPRO_CACHE_MAX_BYTES used to escape as a raw
+        # ValueError traceback instead of the clean error-exit contract.
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 2
+        assert "REPRO_CACHE_MAX_BYTES" in capsys.readouterr().err
+
+    def test_analyze_honors_cap_env_var(self, tmp_path, capsys, monkeypatch):
+        # Regression: `repro analyze` built its disk store without the
+        # documented cap, so the main cache-writing path never evicted.
+        from repro.linkstream import write_tsv
+
+        events = tmp_path / "events.tsv"
+        write_tsv(time_uniform_stream(10, 6, 5000.0, seed=0), events)
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "6000")
+        args = [
+            "analyze", str(events), "--num-deltas", "10",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert DiskStore(cache_dir).stats()["bytes"] <= 6000
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "junk")
+        assert main(args) == 2
+        assert "REPRO_CACHE_MAX_BYTES" in capsys.readouterr().err

@@ -49,6 +49,73 @@ class TestAnalyze:
         code = main(["analyze", str(events_file), "--method", "bogus"])
         assert code == 2
 
+    def test_measures_add_classical_columns(self, events_file, capsys):
+        code = main(
+            [
+                "analyze",
+                str(events_file),
+                "--num-deltas",
+                "6",
+                "--measures",
+                "occupancy,classical",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "density" in out
+        assert "d_time" in out
+        assert "<-- gamma" in out
+
+    def test_measures_metrics_only_columns(self, events_file, capsys):
+        code = main(
+            [
+                "analyze",
+                str(events_file),
+                "--num-deltas",
+                "6",
+                "--measures",
+                "occupancy,metrics",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "density" in out
+        assert "d_time" not in out  # no distance scanning was requested
+
+    def test_measures_must_include_occupancy(self, events_file, capsys):
+        code = main(
+            ["analyze", str(events_file), "--measures", "classical"]
+        )
+        assert code == 2
+        assert "occupancy" in capsys.readouterr().err
+
+    def test_unknown_measure_fails_cleanly(self, events_file, capsys):
+        code = main(
+            ["analyze", str(events_file), "--measures", "occupancy,bogus"]
+        )
+        assert code == 2
+
+    def test_measures_do_not_change_occupancy_evidence(self, events_file, capsys):
+        code = main(["analyze", str(events_file), "--num-deltas", "6"])
+        assert code == 0
+        plain = capsys.readouterr().out
+        code = main(
+            [
+                "analyze",
+                str(events_file),
+                "--num-deltas",
+                "6",
+                "--measures",
+                "occupancy,classical",
+            ]
+        )
+        assert code == 0
+        fused = capsys.readouterr().out
+        # Same gamma line; the occupancy columns are bit-identical, the
+        # fused run only appends classical columns.
+        gamma_line = next(l for l in plain.splitlines() if "saturation scale" in l)
+        assert gamma_line in fused
+
 
 class TestAnalyzeEngine:
     def test_thread_backend_matches_serial(self, events_file, capsys):

@@ -15,13 +15,13 @@ from hypothesis import strategies as st
 from dataclasses import dataclass, field
 
 from repro.core import classical_sweep, gamma_stability, occupancy_method
-from repro.core.occupancy import stream_occupancy_at
 from repro.engine import (
+    AnalysisTask,
     DeltaTask,
     MISS,
     DiskStore,
     MemoryStore,
-    OccupancyTask,
+    OccupancyMeasure,
     ProcessBackend,
     SerialBackend,
     StderrProgress,
@@ -36,6 +36,7 @@ from repro.engine import (
     resolve_engine,
     set_default_engine,
 )
+from repro.temporal.reachability import scan_series
 from repro.generators import time_uniform_stream, two_mode_stream_by_rho
 from repro.linkstream import LinkStream
 from repro.utils.errors import EngineError
@@ -64,21 +65,33 @@ def assert_identical_sweeps(a, b):
 
 
 class CountingEvaluator:
-    """Test double counting calls into the sweep's inner numeric kernel."""
+    """Test double counting backward scans — the sweep's numeric kernel.
+
+    Patched over the fused task's ``scan_series``: every per-Δ
+    evaluation performs exactly one scan, so ``calls`` counts per-Δ
+    evaluations for in-process (serial/thread) backends.
+    """
 
     def __init__(self):
         self.calls = 0
 
     def __call__(self, *args, **kwargs):
         self.calls += 1
-        return stream_occupancy_at(*args, **kwargs)
+        return scan_series(*args, **kwargs)
 
 
 @pytest.fixture
 def count_evaluations(monkeypatch):
     counter = CountingEvaluator()
-    monkeypatch.setattr("repro.engine.tasks.stream_occupancy_at", counter)
+    monkeypatch.setattr("repro.engine.tasks.scan_series", counter)
     return counter
+
+
+def occupancy_task(delta: float, **measure_kwargs) -> AnalysisTask:
+    """A fused task carrying just the occupancy measure."""
+    return AnalysisTask(
+        delta=delta, measures=(OccupancyMeasure(**measure_kwargs),)
+    )
 
 
 @dataclass(frozen=True)
@@ -189,9 +202,9 @@ class TestBackendFailures:
 
     def test_process_failure_names_task(self, synthetic, process_backend):
         tasks = [
-            OccupancyTask(delta=100.0),
+            occupancy_task(100.0),
             ExplodingTask(delta=2.5),
-            OccupancyTask(delta=200.0),
+            occupancy_task(200.0),
         ]
         with pytest.raises(EngineError, match=r"exploding task at delta=2\.5"):
             process_backend.run(synthetic, tasks)
@@ -242,7 +255,7 @@ class TestBackendDeterminism:
             np.geomspace(synthetic.resolution(), synthetic.span, 9), methods=("mk",)
         )
         results = process_backend.run(synthetic, tasks)
-        assert [p.delta for p in results] == [t.delta for t in tasks]
+        assert [r["occupancy"].delta for r in results] == [t.delta for t in tasks]
 
     @settings(max_examples=20, deadline=None)
     @given(
@@ -305,8 +318,8 @@ class TestWarmCache:
     def test_warm_rerun_performs_zero_evaluations(
         self, synthetic, count_evaluations
     ):
-        """ISSUE acceptance: a warm-cache re-run of the same sweep calls
-        ``stream_occupancy_at`` zero times."""
+        """ISSUE acceptance: a warm-cache re-run of the same sweep runs
+        zero backward scans."""
         engine = SweepEngine(cache=SweepCache.build())
         cold = occupancy_method(synthetic, engine=engine)
         cold_calls = count_evaluations.calls
@@ -489,29 +502,44 @@ class TestProgress:
 
 
 class TestTaskKeys:
-    def test_cache_key_depends_on_every_parameter(self):
-        base = OccupancyTask(delta=10.0)
+    def test_measure_key_depends_on_every_parameter(self):
+        base = occupancy_task(10.0)
         variants = [
-            OccupancyTask(delta=11.0),
-            OccupancyTask(delta=10.0, methods=("mk", "std")),
-            OccupancyTask(delta=10.0, bins=64),
-            OccupancyTask(delta=10.0, exact=True),
-            OccupancyTask(delta=10.0, include_self=True),
-            OccupancyTask(delta=10.0, origin=0.0),
+            occupancy_task(11.0),
+            occupancy_task(10.0, methods=("mk", "std")),
+            occupancy_task(10.0, bins=64),
+            occupancy_task(10.0, exact=True),
+            AnalysisTask(
+                delta=10.0, measures=(OccupancyMeasure(),), include_self=True
+            ),
+            AnalysisTask(delta=10.0, measures=(OccupancyMeasure(),), origin=0.0),
         ]
-        keys = {task.cache_key("f" * 64) for task in [base, *variants]}
+        keys = {task.result_keys("f" * 64)[0] for task in [base, *variants]}
         assert len(keys) == len(variants) + 1
 
+    def test_measure_key_ignores_riding_companions(self):
+        # The occupancy entry of a fused occupancy+classical task must be
+        # the very entry an occupancy-only sweep reads, or the per-measure
+        # cache could never warm across measure sets.
+        from repro.engine import ClassicalMeasure
+
+        alone = occupancy_task(10.0)
+        fused = AnalysisTask(
+            delta=10.0, measures=(OccupancyMeasure(), ClassicalMeasure())
+        )
+        assert alone.result_keys("f" * 64)[0] == fused.result_keys("f" * 64)[0]
+        assert len(fused.result_keys("f" * 64)) == 2
+
     def test_cache_key_depends_on_stream_fingerprint(self):
-        task = OccupancyTask(delta=10.0)
-        assert task.cache_key("a" * 64) != task.cache_key("b" * 64)
+        task = occupancy_task(10.0)
+        assert task.result_keys("a" * 64) != task.result_keys("b" * 64)
 
     def test_cache_key_depends_on_eval_version(self, monkeypatch):
         # Persistent caches must invalidate when the numerics change.
-        task = OccupancyTask(delta=10.0)
-        old = task.cache_key("a" * 64)
+        task = occupancy_task(10.0)
+        old = task.result_keys("a" * 64)
         monkeypatch.setattr("repro.engine.tasks.EVAL_VERSION", 999)
-        assert task.cache_key("a" * 64) != old
+        assert task.result_keys("a" * 64) != old
 
 
 class TestConcurrency:

@@ -18,8 +18,11 @@ from repro.core.distribution import OccupancyDistribution
 from repro.core.occupancy import OccupancyCollector, series_occupancy, series_occupancy_shard
 from repro.engine import (
     AUTO_SHARDS,
-    OccupancyShardTask,
-    OccupancyTask,
+    AnalysisShardTask,
+    AnalysisTask,
+    ClassicalMeasure,
+    MetricsMeasure,
+    OccupancyMeasure,
     ProcessBackend,
     SweepCache,
     SweepEngine,
@@ -31,7 +34,7 @@ from repro.generators import time_uniform_stream, two_mode_stream_by_rho
 from repro.graphseries import aggregate
 from repro.linkstream import LinkStream
 from repro.temporal.collectors import CountingCollector, TripListCollector
-from repro.temporal.reachability import scan_series
+from repro.temporal.reachability import DistanceTotals, scan_series
 from repro.utils.errors import EngineError, ValidationError
 
 
@@ -43,6 +46,12 @@ def stream() -> LinkStream:
 @pytest.fixture(scope="module")
 def series(stream):
     return aggregate(stream, 500.0)
+
+
+def occupancy_task(delta: float, **measure_kwargs) -> AnalysisTask:
+    return AnalysisTask(
+        delta=delta, measures=(OccupancyMeasure(**measure_kwargs),)
+    )
 
 
 def assert_identical_sweeps(a, b):
@@ -99,9 +108,44 @@ class TestScanTargets:
         with pytest.raises(ValidationError):
             scan_series(series, targets=[-1])
 
-    def test_targets_incompatible_with_distances(self, series):
-        with pytest.raises(ValidationError):
-            scan_series(series, targets=[0, 1], compute_distances=True)
+    def test_distance_totals_compose_with_targets(self, series):
+        # Distance statistics used to be incompatible with a target
+        # restriction (the hard-wired compute_distances flag); as a
+        # collector-style measure they now shard like everything else.
+        reference = DistanceTotals()
+        scan_series(series, reference)
+        merged = DistanceTotals()
+        for i in range(3):
+            shard = DistanceTotals()
+            scan_series(series, shard, targets=np.arange(i, series.num_nodes, 3))
+            merged.merge(shard)
+        assert merged.stats(series.num_nodes, series.num_steps) == (
+            reference.stats(series.num_nodes, series.num_steps)
+        )
+
+    def test_multi_collector_scan_feeds_all_consumers_once(self, series):
+        # One pass, many measures: a fused consumer set sees exactly what
+        # dedicated single-consumer scans see.
+        occupancy_alone, num_trips = series_occupancy(series)
+        totals_alone = DistanceTotals()
+        scan_series(series, totals_alone)
+
+        occupancy = OccupancyCollector()
+        totals = DistanceTotals()
+        counting = CountingCollector()
+        result = scan_series(series, [occupancy, totals, counting])
+        assert counting.num_trips == num_trips == occupancy.num_trips
+        assert result.num_trips == num_trips
+        fused_distribution = occupancy.distribution()
+        assert fused_distribution.values.tolist() == occupancy_alone.values.tolist()
+        assert fused_distribution.weights.tolist() == occupancy_alone.weights.tolist()
+        assert totals.stats(series.num_nodes, series.num_steps) == (
+            totals_alone.stats(series.num_nodes, series.num_steps)
+        )
+
+    def test_unknown_consumer_rejected(self, series):
+        with pytest.raises(ValidationError, match="neither a trip collector"):
+            scan_series(series, object())
 
 
 class TestCollectorMerges:
@@ -132,6 +176,53 @@ class TestCollectorMerges:
         distribution = merged.distribution()
         assert distribution.values.tolist() == reference.values.tolist()
         assert distribution.weights.tolist() == reference.weights.tolist()
+
+    def test_empty_shards_merge_and_only_final_assembly_fails(self):
+        # A destination subset can legitimately receive zero trips: the
+        # empty collector must merge like any other, and only a merged
+        # total of zero may fail — at final assembly.
+        empty_a = OccupancyCollector()
+        empty_b = OccupancyCollector()
+        assert empty_a.empty
+        merged = OccupancyCollector().merge(empty_a).merge(empty_b)
+        assert merged.empty
+        with pytest.raises(ValidationError, match="no minimal trips"):
+            merged.distribution()
+        # Empty + loaded merges keep the loaded mass bit-identical.
+        loaded = OccupancyCollector()
+        values = np.array([0.25, 1.0])
+        loaded.record(
+            0, 0.0, np.arange(2), values, np.ones(2, dtype=np.int64), 1.0 / values
+        )
+        combined = OccupancyCollector().merge(empty_a).merge(loaded)
+        assert not combined.empty
+        assert combined.num_trips == 2
+        reference = loaded.distribution()
+        assert combined.distribution().values.tolist() == reference.values.tolist()
+        # Exact mode: same contract.
+        combined_exact = OccupancyCollector(exact=True).merge(
+            OccupancyCollector(exact=True)
+        )
+        assert combined_exact.empty
+        with pytest.raises(ValidationError, match="no minimal trips"):
+            combined_exact.distribution()
+
+    def test_empty_destination_shard_comes_back_mergeable(self):
+        # Node 2 never receives an edge: its shard is empty but the
+        # partition still reassembles the full distribution.
+        stream = LinkStream([0, 0], [1, 1], [0, 10], num_nodes=3, directed=True)
+        series = aggregate(stream, 1.0)
+        reference, num_trips = series_occupancy(series)
+        shards = [
+            series_occupancy_shard(series, np.array([node]))
+            for node in range(series.num_nodes)
+        ]
+        assert shards[2].empty  # no trips arrive at node 2
+        merged = OccupancyCollector()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.num_trips == num_trips
+        assert merged.distribution().values.tolist() == reference.values.tolist()
 
     @settings(max_examples=25, deadline=None)
     @given(
@@ -219,6 +310,8 @@ class TestCollectorMerges:
             OccupancyCollector(exact=True).merge(OccupancyCollector(exact=False))
         with pytest.raises(ValidationError):
             OccupancyCollector().merge(CountingCollector())
+        with pytest.raises(ValidationError):
+            DistanceTotals().merge(CountingCollector())
 
     def test_exact_mode_merge_ignores_bin_counts(self):
         # Bins are meaningless in exact mode; differing sizes must not
@@ -277,11 +370,11 @@ class TestCollectorMerges:
 
 class TestShardTasks:
     def test_shard_then_merge_equals_evaluate(self, stream):
-        task = OccupancyTask(delta=500.0, methods=("mk", "std"))
-        direct = task.evaluate(stream)
+        task = occupancy_task(500.0, methods=("mk", "std"))
+        direct = task.evaluate(stream)["occupancy"]
         pieces = task.shard(3)
         assert [p.shard_index for p in pieces] == [0, 1, 2]
-        merged = task.merge_shards([p.evaluate(stream) for p in pieces])
+        merged = task.merge_shards([p.evaluate(stream) for p in pieces])["occupancy"]
         assert merged.scores == direct.scores
         assert merged.num_trips == direct.num_trips
         assert merged.num_windows == direct.num_windows
@@ -290,47 +383,79 @@ class TestShardTasks:
             == direct.distribution.values.tolist()
         )
 
+    def test_fused_task_shards_every_measure(self, stream):
+        task = AnalysisTask(
+            delta=500.0, measures=(OccupancyMeasure(), ClassicalMeasure())
+        )
+        direct = task.evaluate(stream)
+        pieces = task.shard(4)
+        merged = task.merge_shards([p.evaluate(stream) for p in pieces])
+        assert merged["occupancy"].scores == direct["occupancy"].scores
+        assert merged["classical"].distances == direct["classical"].distances
+        assert merged["classical"].snapshot == direct["classical"].snapshot
+
     def test_shard_of_one_means_no_split(self):
-        assert OccupancyTask(delta=10.0).shard(1) is None
+        assert occupancy_task(10.0).shard(1) is None
+
+    def test_scanless_tasks_do_not_shard(self):
+        # Snapshot metrics never touch the scan: nothing to split.
+        metrics_only = AnalysisTask(delta=10.0, measures=(MetricsMeasure(),))
+        assert metrics_only.shard(4) is None
+        plan = plan_shard_expansion([occupancy_task(10.0), metrics_only], 4)
+        assert plan.sharded == [True, False]
+        assert len(plan.subtasks) == 5
 
     def test_merge_rejects_incomplete_or_foreign_shards(self, stream):
-        task = OccupancyTask(delta=500.0)
+        task = occupancy_task(500.0)
         pieces = task.shard(3)
         results = [p.evaluate(stream) for p in pieces]
         with pytest.raises(EngineError):
             task.merge_shards(results[:2])  # missing a shard
         with pytest.raises(EngineError):
             task.merge_shards([])
-        other = OccupancyTask(delta=250.0)
+        other = occupancy_task(250.0)
         with pytest.raises(EngineError):
             other.merge_shards(results)  # wrong delta
 
+    def test_merge_rejects_shards_missing_a_measure(self, stream):
+        # Shards cached by an occupancy-only sweep cannot satisfy a
+        # fused occupancy+classical merge.
+        fused = AnalysisTask(
+            delta=500.0, measures=(OccupancyMeasure(), ClassicalMeasure())
+        )
+        occupancy_only = occupancy_task(500.0)
+        results = [p.evaluate(stream) for p in occupancy_only.shard(2)]
+        with pytest.raises(EngineError, match="classical"):
+            fused.merge_shards(results)
+
     def test_shard_task_validates_spec(self):
         with pytest.raises(EngineError):
-            OccupancyShardTask(delta=10.0, shard_index=2, num_shards=2)
+            AnalysisShardTask(
+                delta=10.0,
+                measures=(OccupancyMeasure(),),
+                shard_index=2,
+                num_shards=2,
+            )
         with pytest.raises(EngineError):
-            OccupancyShardTask(delta=10.0, shard_index=0, num_shards=0)
-
-    def test_classical_tasks_ride_through_shard_plans(self):
-        from repro.engine import ClassicalTask
-
-        tasks = [OccupancyTask(delta=10.0), ClassicalTask(delta=10.0)]
-        plan = plan_shard_expansion(tasks, 4)
-        assert plan.sharded == [True, False]
-        assert len(plan.subtasks) == 5
+            AnalysisShardTask(
+                delta=10.0,
+                measures=(OccupancyMeasure(),),
+                shard_index=0,
+                num_shards=0,
+            )
         with pytest.raises(EngineError):
-            ClassicalTask(delta=10.0).merge_shards([])
+            AnalysisShardTask(delta=10.0, measures=(), shard_index=0, num_shards=1)
 
 
 class TestShardCacheKeys:
     def test_shard_spec_isolates_cache_keys(self):
         fingerprint = "f" * 64
-        full = OccupancyTask(delta=10.0)
-        keys = {full.cache_key(fingerprint)}
+        full = occupancy_task(10.0)
+        keys = set(full.result_keys(fingerprint))
         for num_shards in (2, 3):
             for task in full.shard(num_shards):
                 keys.add(task.cache_key(fingerprint))
-        assert len(keys) == 1 + 2 + 3  # full + every shard, all distinct
+        assert len(keys) == 1 + 2 + 3  # measure key + every shard, all distinct
 
     def test_shard_layouts_do_not_collide_in_a_live_cache(self, stream):
         engine = SweepEngine(cache=SweepCache.build())
@@ -349,27 +474,28 @@ class TestShardCacheKeys:
         # reuse every shard entry and only re-score.
         engine = SweepEngine(cache=SweepCache.build())
         occupancy_method(stream, deltas=[50.0, 500.0], engine=engine, shards=2)
-        assert engine.cache.misses == 2 + 4  # full keys + shard keys
+        assert engine.cache.misses == 2 + 4  # measure keys + shard keys
         occupancy_method(
             stream, deltas=[50.0, 500.0], method="std", engine=engine, shards=2
         )
-        assert engine.cache.misses == 6 + 2  # only the new full keys missed
+        assert engine.cache.misses == 6 + 2  # only the new measure keys missed
         assert engine.cache.hits >= 4  # every shard scan was reused
 
     def test_merged_points_warm_the_unsharded_key(self, stream, monkeypatch):
-        calls = {"n": 0}
-        from repro.core.occupancy import stream_occupancy_at as real
+        calls = {"full": 0}
+        from repro.temporal.reachability import scan_series as real_scan
 
-        def counting(*args, **kwargs):
-            calls["n"] += 1
-            return real(*args, **kwargs)
+        def counting(series, collector=None, **kwargs):
+            if kwargs.get("targets") is None:
+                calls["full"] += 1
+            return real_scan(series, collector, **kwargs)
 
-        monkeypatch.setattr("repro.engine.tasks.stream_occupancy_at", counting)
+        monkeypatch.setattr("repro.engine.tasks.scan_series", counting)
         engine = SweepEngine(cache=SweepCache.build())
         sharded = occupancy_method(stream, deltas=[50.0, 500.0], engine=engine, shards=2)
-        assert calls["n"] == 0  # the sharded path never runs the full kernel
+        assert calls["full"] == 0  # the sharded path never runs a full scan
         rerun = occupancy_method(stream, deltas=[50.0, 500.0], engine=engine)
-        assert calls["n"] == 0  # merged points were cached under the full keys
+        assert calls["full"] == 0  # merged points were cached per measure
         assert_identical_sweeps(sharded, rerun)
 
 
@@ -445,7 +571,7 @@ class TestShardPolicy:
     def test_auto_shards_only_small_plans(self, stream):
         engine = SweepEngine(ThreadBackend(jobs=8), cache=SweepCache.build())
         # 2 tasks < 8 workers: each Δ splits into 4 shards -> the cache
-        # sees 2 full-key probes plus 8 shard-key probes.
+        # sees 2 measure-key probes plus 8 shard-key probes.
         occupancy_method(stream, deltas=[50.0, 500.0], engine=engine)
         assert engine.cache.misses == 2 + 8
         engine.close()
@@ -475,18 +601,18 @@ class TestShardPolicy:
         # auto-sharding creates: all shards of one Δ starting at once.
         import threading
 
-        import repro.engine.tasks as tasks_mod
+        import repro.graphseries.aggregation as agg_mod
 
         calls = []
-        real = tasks_mod.aggregate
+        real = agg_mod.aggregate
 
         def counting(s, delta, *, origin=None):
             calls.append(delta)
             return real(s, delta, origin=origin)
 
-        monkeypatch.setattr(tasks_mod, "aggregate", counting)
-        tasks_mod._SERIES_MEMO.clear()
-        task = OccupancyTask(delta=123.0)
+        monkeypatch.setattr(agg_mod, "aggregate", counting)
+        agg_mod.clear_aggregate_cache()
+        task = occupancy_task(123.0)
         pieces = task.shard(4)
         barrier = threading.Barrier(4)
         results = [None] * 4
@@ -501,8 +627,8 @@ class TestShardPolicy:
         for t in threads:
             t.join()
         assert calls == [123.0]  # one aggregation served all four shards
-        merged = task.merge_shards(results)
-        assert merged.scores == task.evaluate(stream).scores
+        merged = task.merge_shards(results)["occupancy"]
+        assert merged.scores == task.evaluate(stream)["occupancy"].scores
 
     def test_warm_sharded_run_reports_cached_progress(self, stream):
         import io
@@ -535,7 +661,7 @@ class TestShardPolicy:
         occupancy_method(stream, deltas=[50.0, 500.0], engine=engine)
         assert engine.cache.misses == 2  # engine policy: never shard
         # An explicit per-call policy wins over the engine's: fresh Δs
-        # probe 2 full keys and 4 shard keys despite engine shards=1.
+        # probe 2 measure keys and 4 shard keys despite engine shards=1.
         occupancy_method(stream, deltas=[60.0, 600.0], engine=engine, shards=2)
         assert engine.cache.misses == 2 + 2 + 4
         engine.close()

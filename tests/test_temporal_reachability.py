@@ -7,9 +7,11 @@ from repro.graphseries import GraphSeries, aggregate
 from repro.linkstream import LinkStream
 from repro.temporal import (
     CountingCollector,
+    DistanceTotals,
     TripListCollector,
     scan_series,
     scan_stream,
+    series_distance_stats,
 )
 
 
@@ -163,7 +165,7 @@ class TestDistances:
     def test_single_edge_distances(self):
         stream = LinkStream([0], [1], [0], num_nodes=2)
         series = aggregate(stream, 1.0)
-        stats = scan_series(series, compute_distances=True).distances
+        stats = series_distance_stats(series)
         # One window; only (0 -> 1, depart step 0): distance 1 step, 1 hop.
         assert stats.reachable_count == 1
         assert stats.mean_distance_steps == pytest.approx(1.0)
@@ -172,7 +174,7 @@ class TestDistances:
     def test_unreachable_pairs_excluded(self):
         stream = LinkStream([0], [1], [0], num_nodes=3)
         series = aggregate(stream, 1.0)
-        stats = scan_series(series, compute_distances=True).distances
+        stats = series_distance_stats(series)
         assert stats.reachable_count == 1
         assert stats.reachable_fraction == pytest.approx(1 / 6)
 
@@ -181,9 +183,32 @@ class TestDistances:
         # all reach 1 via some edge... only via edges at steps 0 and 10.
         stream = LinkStream([0, 0], [1, 1], [0, 10], num_nodes=2)
         series = aggregate(stream, 1.0)
-        stats = scan_series(series, compute_distances=True).distances
+        stats = series_distance_stats(series)
         # Departing at step t <= 10 arrives at step 0 if t == 0 else step 10.
         # d_time = 1 for t=0; 10-t+1 for 1<=t<=10 -> values 1,10,9,...,1.
         expected = (1 + sum(range(1, 11))) / 11
         assert stats.reachable_count == 11
         assert stats.mean_distance_steps == pytest.approx(expected)
+
+    def test_distance_totals_ride_a_shared_scan(self, medium_stream):
+        # The accumulator is an ordinary scan consumer: feeding it next
+        # to a trip collector changes neither the trips nor the stats.
+        series = aggregate(medium_stream, 50.0)
+        alone = series_distance_stats(series)
+        totals = DistanceTotals()
+        collector = TripListCollector()
+        fused = scan_series(series, [collector, totals])
+        assert totals.stats(series.num_nodes, series.num_steps) == alone
+        assert fused.num_trips == len(collector.trips())
+
+    def test_distance_shards_merge_to_full_scan(self, medium_stream):
+        series = aggregate(medium_stream, 50.0)
+        reference = series_distance_stats(series)
+        merged = DistanceTotals()
+        for i in range(3):
+            shard = DistanceTotals()
+            scan_series(
+                series, shard, targets=np.arange(i, series.num_nodes, 3)
+            )
+            merged.merge(shard)
+        assert merged.stats(series.num_nodes, series.num_steps) == reference
