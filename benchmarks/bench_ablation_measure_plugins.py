@@ -1,0 +1,111 @@
+"""Ablation — riding extra measures on the fused single scan per Δ.
+
+The plugin measure layer promises that attaching more measures to a
+sweep costs **zero extra scans**: trips, components, and reachability
+ride the same backward pass (and the same aggregation) as the occupancy
+evidence.  This bench pins the claims on an occupancy-only sweep versus
+occupancy + trips + components + reachability:
+
+* scan count — both pipelines must perform exactly one backward scan
+  and one aggregation per Δ: the riders may not add a single pass;
+* bit-identity — the occupancy evidence (γ, scores, distributions) must
+  be untouched by the riders, and the riders' totals must be mutually
+  consistent (the trips measure counts exactly the trips the occupancy
+  collector scored; the reachability sums match the classical
+  distance accumulator's support);
+* wall time — informational: the riders' overhead is the per-batch
+  collector work, reported but not asserted (it is legitimately
+  nonzero).
+
+The scan-count and bit-identity assertions always apply.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from _harness import emit
+
+from repro.core import log_delta_grid, occupancy_method
+from repro.engine import SweepEngine
+from repro.graphseries.aggregation import AGGREGATION_COUNTS, clear_aggregate_cache
+from repro.reporting import render_table
+from repro.temporal.reachability import SCAN_COUNTS
+
+
+def _counters() -> tuple[int, int]:
+    return SCAN_COUNTS["series"], AGGREGATION_COUNTS["aggregate"]
+
+
+def test_measure_plugin_overhead_ablation(benchmark, capsys, irvine_stream):
+    deltas = log_delta_grid(irvine_stream, num=8)
+    riders = ("trips:max_samples=256", "components", "reachability")
+
+    def compare():
+        clear_aggregate_cache()
+        s0, a0 = _counters()
+        start = perf_counter()
+        plain = occupancy_method(
+            irvine_stream, deltas=deltas, engine=SweepEngine(cache=None)
+        )
+        plain_time = perf_counter() - start
+        s1, a1 = _counters()
+
+        clear_aggregate_cache()
+        start = perf_counter()
+        loaded = occupancy_method(
+            irvine_stream,
+            deltas=deltas,
+            measures=riders,
+            engine=SweepEngine(cache=None),
+        )
+        loaded_time = perf_counter() - start
+        s2, a2 = _counters()
+        return {
+            "occupancy_only": (plain_time, s1 - s0, a1 - a0, plain),
+            "with_riders": (loaded_time, s2 - s1, a2 - a1, loaded),
+        }
+
+    timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rows = [
+        [label, f"{timings[label][0]:.3f}", timings[label][1], timings[label][2]]
+        for label in ("occupancy_only", "with_riders")
+    ]
+    table = render_table(
+        ["pipeline", "wall_seconds", "backward_scans", "aggregations"],
+        rows,
+        title=(
+            f"Ablation — measure plugin overhead (occupancy vs occupancy + "
+            f"{len(riders)} riders, {len(deltas)} deltas, "
+            f"{irvine_stream.num_events} events)"
+        ),
+    )
+    emit(capsys, "ablation_measure_plugins", table)
+
+    plain_time, plain_scans, plain_aggs, plain = timings["occupancy_only"]
+    loaded_time, loaded_scans, loaded_aggs, loaded = timings["with_riders"]
+    # The acceptance claim: extra measures attach to the existing scan —
+    # the fused count stays at exactly one scan (and one aggregation)
+    # per Δ, identical to the occupancy-only sweep.
+    assert plain_scans == len(deltas)
+    assert loaded_scans == len(deltas)
+    assert plain_aggs == len(deltas)
+    assert loaded_aggs == len(deltas)
+    # Riders must not perturb the occupancy evidence...
+    assert loaded.gamma == plain.gamma
+    for pa, pb in zip(loaded.points, plain.points):
+        assert pa.scores == pb.scores
+        assert pa.num_trips == pb.num_trips
+        assert pa.distribution.values.tolist() == pb.distribution.values.tolist()
+        assert pa.distribution.weights.tolist() == pb.distribution.weights.tolist()
+    # ...and must be consistent with it: the trips measure counts the
+    # very trips the occupancy collector scored, and the reachability
+    # sums cover exactly the scan's minimal-trip support per Δ.
+    for point, sample, reach in zip(
+        loaded.points,
+        loaded.companions["trips"],
+        loaded.companions["reachability"],
+    ):
+        assert sample.num_trips == point.num_trips
+        assert len(sample.trips) <= 256
+        assert reach.pair_reachable_steps.sum() == reach.distance_stats().reachable_count

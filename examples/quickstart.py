@@ -49,6 +49,27 @@ def main() -> None:
     # (equivalently: analyze_stream(stream, measures=("occupancy",
     # "classical")), or `repro analyze --measures occupancy,classical`
     # on the CLI — Figure 2 top and bottom from one scan per Δ).
+    #
+    # The measure set is open-ended: built-ins cover trip samples,
+    # component histograms, and per-pair reachability — parameterized
+    # right in the spec string ("trips:max_samples=64,seed=3" on the
+    # CLI and in measures=(...) alike) — and your own code can register
+    # new measures at runtime:
+    #
+    #     from repro.engine import MeasureSpec, register_measure
+    #
+    #     @register_measure
+    #     @dataclass(frozen=True)
+    #     class MyMeasure(MeasureSpec):
+    #         ...                      # fields = parameters = cache key
+    #
+    # after which "my_measure" works in occupancy_method, gamma_stability
+    # (per-resample companions at each elected gamma), analyze_stream,
+    # and `repro analyze --measures occupancy,my_measure` — fused into
+    # the same single scan per Δ, shardable, cached per parameter set.
+    # See "Writing a measure" in help(repro) for the full contract.
+    # (`repro cache prewarm events.tsv --measures ...` replays a sweep
+    # into the disk store so later analyses start warm.)
     result = occupancy_method(stream, num_deltas=24)
     print(result.describe())
     print()

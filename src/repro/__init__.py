@@ -52,6 +52,67 @@ only the missing measure; aggregated series themselves are shared
 through :func:`~repro.graphseries.aggregate_cached`, a process-wide
 content-keyed memo warmed by sweeps and one-shot helpers alike.
 
+Six measures ship built in: ``occupancy``, ``classical``, ``metrics``,
+``trips`` (bounded minimal-trip samples with exact trip/hop/duration
+totals), ``components`` (per-window component-size histograms), and
+``reachability`` (per-pair earliest-arrival summaries from the scan's
+arrival matrix).  Measures take parameters straight from the CLI —
+``repro analyze --measures occupancy,trips:max_samples=64,seed=3`` —
+and each parameter set caches under its own key.  Companion measures
+also ride :func:`~repro.core.gamma_stability`'s subsample sweeps
+(``measures=`` forwards through), surfacing per-resample values at each
+elected γ in ``StabilityResult.companions_at_gamma``.
+
+Writing a measure
+-----------------
+The measure layer is an **open plugin registry**
+(:func:`~repro.engine.register_measure`): third-party code adds
+measures at runtime, no engine changes required.  A measure is a frozen
+dataclass subclassing :class:`~repro.engine.MeasureSpec`; its fields
+are its parameter schema — hashed into its cache key automatically and
+parseable from the CLI's ``name:key=value`` syntax::
+
+    from dataclasses import dataclass
+    from repro import occupancy_method
+    from repro.engine import MeasureSpec, register_measure
+    from repro.temporal import CountingCollector
+
+    @register_measure
+    @dataclass(frozen=True)
+    class HopCount(MeasureSpec):
+        scale: float = 1.0          # a parameter (cache-keyed, CLI-settable)
+
+        scans = True                # rides the single backward scan
+
+        @property
+        def name(self) -> str:
+            return "hop_count"
+
+        def make_collector(self):
+            return CountingCollector()
+
+        def finalize(self, delta, geometry, payload, collectors):
+            merged = CountingCollector()
+            for collector in collectors:
+                merged.merge(collector)         # the shard-merge rule
+            return self.scale * merged.num_trips
+
+    result = occupancy_method(stream, measures=("hop_count",))
+    result.companions["hop_count"]              # one value per Δ
+
+A measure declares how it feeds (``scans`` measures contribute a scan
+consumer — a trip collector with ``record`` or a state accumulator with
+``observe_row``/``close_run``/``begin``; ``has_payload`` measures do
+per-series work in ``series_payload``), how shards merge
+(``finalize`` receives one collector per destination shard and must
+fold into fresh accumulators), and how dearly its results cache
+(``cache_weight`` ranks recompute cost for the disk store's eviction
+sweep; ``scoring_fields`` names pure post-processing parameters
+excluded from shard-entry identity).  Registered measures run
+everywhere built-ins do — fused tasks, all backends, within-Δ sharding,
+per-measure caching, ``analyze_stream``, the CLI — with bit-identical
+results by construction.
+
 Engine & caching
 ----------------
 Every Δ sweep (the occupancy method, classical sweeps, stability and
@@ -63,9 +124,13 @@ cache keyed on the stream fingerprint plus the Δ and per-measure
 parameters.  Re-running a sweep, refining a grid, or re-analyzing the
 same stream never recomputes a sweep point; with a disk cache the reuse
 survives across processes.  ``REPRO_CACHE_MAX_BYTES`` (or
-``DiskStore(max_bytes=...)``) caps the disk store — least-recently-used
-entries are swept once it outgrows the cap — and ``repro cache
-stats`` / ``repro cache clear`` manage it from the command line.
+``DiskStore(max_bytes=...)``) caps the disk store: once it outgrows the
+cap, entries are swept cheapest-to-recompute first (each measure's
+``cache_weight`` — snapshot metrics age out long before trip samples),
+least-recently-used first within a weight.  ``repro cache stats`` /
+``repro cache clear`` manage the store from the command line, and
+``repro cache prewarm EVENTS --measures ...`` replays a sweep spec into
+it so later analyses of the same stream start fully warm.
 
 Select the backend per call (``occupancy_method(stream,
 engine="process")``), via a configured engine (``SweepEngine("thread",
@@ -117,7 +182,7 @@ from repro.engine import SweepCache, SweepEngine
 from repro.graphseries import GraphSeries, Snapshot, aggregate
 from repro.linkstream import IntervalStream, LinkStream
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LinkStream",

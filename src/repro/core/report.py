@@ -11,7 +11,12 @@ The report can carry extra measure columns: requesting
 distributions *and* the classical parameters (Figure 2 top and bottom)
 from **exactly one aggregation and one backward scan per Δ** — the
 engine's fused measure pipeline — instead of sweeping the grid once per
-measure kind.
+measure kind.  Any measure registered in the engine's plugin registry
+rides the same way: names (parameterized specs like
+``"trips:max_samples=64"`` included) and
+:class:`~repro.engine.MeasureSpec` instances are both accepted, and
+every companion's per-Δ results surface in
+:attr:`StreamReport.companions`.
 """
 
 from __future__ import annotations
@@ -53,6 +58,18 @@ class StreamReport:
     @property
     def gamma(self) -> float:
         return self.saturation.gamma
+
+    @property
+    def companions(self) -> dict[str, list]:
+        """Every companion measure's per-Δ results, keyed by measure name.
+
+        The raw per-measure values (``classical``/``metrics`` appear
+        here too, unwrapped; the typed :attr:`classical`/:attr:`metrics`
+        sweeps are the curated views), aligned index-for-index with
+        ``saturation.points``.  Plugin measures registered through
+        :func:`~repro.engine.register_measure` land here.
+        """
+        return self.saturation.companions
 
     @property
     def recommended_delta(self) -> float:
@@ -107,18 +124,54 @@ class StreamReport:
         return "\n".join(lines)
 
 
-def _measure_names(measures) -> tuple[str, ...]:
-    """Normalize the requested measure-name set for :func:`analyze_stream`."""
-    if isinstance(measures, str):
+def _split_measures(measures) -> tuple:
+    """Normalize the requested measure set for :func:`analyze_stream`.
+
+    Accepts names (parameterized specs included), ``MeasureSpec``
+    instances, or a mix; requires occupancy in the set (it selects γ)
+    and returns the deduplicated companion specs.  The occupancy entry
+    must stay parameter-free: its resolution/scoring are configured
+    through ``analyze_stream``'s own keywords (``bins``, ``exact``,
+    ``method``), which feed the γ selection.
+    """
+    from repro.engine import OccupancyMeasure, resolve_measure
+
+    if isinstance(measures, str) or not isinstance(measures, (list, tuple)):
         measures = (measures,)
-    names = tuple(dict.fromkeys(measures))
-    if "occupancy" not in names:
+    has_occupancy = False
+    companions = []
+    seen: dict[str, object] = {}
+    for entry in measures:
+        spec = resolve_measure(entry)
+        if spec.name == "occupancy":
+            if spec != OccupancyMeasure():
+                raise ValidationError(
+                    "configure the occupancy measure through "
+                    "analyze_stream's own keywords (method=, bins=, "
+                    "exact=), not through measure parameters — they "
+                    "drive the gamma selection itself"
+                )
+            has_occupancy = True
+            continue
+        if spec.name in seen:
+            # Exact repeats dedupe; same name with different parameters
+            # is a conflict (one fused task emits one result per name —
+            # silently keeping either spec would lose the other).
+            if spec != seen[spec.name]:
+                raise ValidationError(
+                    f"conflicting parameter sets for measure "
+                    f"{spec.name!r}: {seen[spec.name]!r} vs {spec!r}"
+                )
+            continue
+        seen[spec.name] = spec
+        companions.append(spec)
+    if not has_occupancy:
         raise ValidationError(
             "analyze_stream detects the saturation scale, so the measure "
             'set must include "occupancy" (use classical_sweep for a '
             "standalone classical run)"
         )
-    return names
+    return tuple(companions)
 
 
 def analyze_stream(
@@ -134,11 +187,16 @@ def analyze_stream(
 
     ``measures`` names what to evaluate at every Δ of the sweep:
     ``"occupancy"`` (always required — it selects γ) optionally joined
-    by ``"classical"`` (snapshot means + distance statistics, Figure 2)
-    and/or ``"metrics"`` (snapshot means only).  The whole set is
-    computed from **one aggregation and one backward scan per Δ**; the
-    extra columns land in :attr:`StreamReport.classical` /
-    :attr:`StreamReport.metrics`.
+    by any measure registered in the engine's plugin registry —
+    built-ins like ``"classical"`` (snapshot means + distance
+    statistics, Figure 2), ``"metrics"``, ``"trips:max_samples=64"``,
+    ``"components"``, ``"reachability"``, or
+    :class:`~repro.engine.MeasureSpec` instances (user-defined measures
+    included).  The whole set is computed from **one aggregation and one
+    backward scan per Δ**; classical/metrics land in
+    :attr:`StreamReport.classical` / :attr:`StreamReport.metrics`, and
+    every companion's raw per-Δ results in
+    :attr:`StreamReport.companions`.
 
     Extra keyword arguments go to
     :func:`~repro.core.saturation.occupancy_method` (``num_deltas``,
@@ -147,8 +205,7 @@ def analyze_stream(
     default).  ``validate=False`` skips the Section 8 loss measures (they
     need a second scan of the raw stream).
     """
-    names = _measure_names(measures)
-    companions = tuple(name for name in names if name != "occupancy")
+    companions = _split_measures(measures)
     summary = stream_summary(stream)
     saturation = occupancy_method(
         stream, engine=engine, measures=companions, **occupancy_kwargs

@@ -15,7 +15,7 @@ longer windows, and the measured spread absorbs that bias.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,11 +29,27 @@ from repro.utils.rng import ensure_rng
 
 @dataclass(frozen=True)
 class StabilityResult:
-    """γ under repeated event subsampling."""
+    """γ under repeated event subsampling.
+
+    When the underlying sweeps carried companion measures
+    (``gamma_stability(..., measures=("classical", ...))`` — any
+    registered measure, plugins included), their results surface here:
+    ``companions_full`` holds the full-stream sweep's per-Δ companion
+    values (keyed by measure name, aligned with the full sweep's grid),
+    and ``companions_at_gamma`` holds, per measure, one value per
+    accepted resample — the companion measured **at that resample's γ**,
+    from the same aggregation and scan that elected it.  Together they
+    say not just how stable γ is, but how stable the companion
+    quantities are at the detected scale.
+    """
 
     gamma_full: float
     gammas: np.ndarray
     fraction: float
+    companions_full: dict[str, list] = field(default_factory=dict, repr=False)
+    companions_at_gamma: dict[str, list] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def spread_factor(self) -> float:
@@ -62,10 +78,18 @@ def gamma_stability(
 
     Extra keyword arguments are forwarded to
     :func:`~repro.core.saturation.occupancy_method` (e.g. ``num_deltas``,
-    ``method``).  The full-stream γ is computed with the same settings.
-    All sweeps (full and subsampled) share ``engine``, so the full-stream
-    sweep is a pure cache hit when the caller already analyzed it and
-    repeated stability runs reuse every previously seen subsample.
+    ``method``, ``measures``).  The full-stream γ is computed with the
+    same settings.  All sweeps (full and subsampled) share ``engine``, so
+    the full-stream sweep is a pure cache hit when the caller already
+    analyzed it and repeated stability runs reuse every previously seen
+    subsample.
+
+    Companion measures (``measures=("classical",)``, any registered
+    measure or spec) ride every subsample sweep — each resample's
+    companions come from the very aggregation and backward scan that
+    elected its γ, at no extra scan cost — and surface in
+    :attr:`StabilityResult.companions_full` /
+    :attr:`StabilityResult.companions_at_gamma`.
     """
     if not 0.0 < fraction <= 1.0:
         raise ValidationError("fraction must be in (0, 1]")
@@ -76,6 +100,9 @@ def gamma_stability(
     attempts = 0
     with engine_scope(engine) as eng:
         full = occupancy_method(stream, engine=eng, **occupancy_kwargs)
+        companions_at_gamma: dict[str, list] = {
+            name: [] for name in full.companions
+        }
         while len(gammas) < num_resamples and attempts < 4 * num_resamples:
             attempts += 1
             sample = subsample_events(stream, fraction, seed=rng)
@@ -83,10 +110,16 @@ def gamma_stability(
                 continue
             result = occupancy_method(sample, engine=eng, **occupancy_kwargs)
             gammas.append(result.gamma)
+            # The index γ was elected at (same argmax as result.gamma).
+            at = int(np.argmax(result.scores()))
+            for name, values in result.companions.items():
+                companions_at_gamma[name].append(values[at])
     if len(gammas) < 2:
         raise ValidationError("subsamples too sparse to measure gamma")
     return StabilityResult(
         gamma_full=full.gamma,
         gammas=np.asarray(gammas),
         fraction=fraction,
+        companions_full={k: list(v) for k, v in full.companions.items()},
+        companions_at_gamma=companions_at_gamma,
     )

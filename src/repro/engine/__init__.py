@@ -7,12 +7,19 @@ package turns that loop into an explicit plan of
 :class:`~repro.engine.backends.ExecutionBackend` behind a
 content-addressed :class:`~repro.engine.cache.SweepCache`:
 
-* :mod:`repro.engine.tasks` — the measure layer
-  (:class:`MeasureSpec`: occupancy, classical, metrics) and the fused
-  per-Δ :class:`AnalysisTask` that aggregates once, scans once, and
-  emits one separately-cached result per measure, plus the within-Δ
-  shard planner (:class:`AnalysisShardTask` splits one huge evaluation
-  into destination-partition shards that merge back bit-identically);
+* :mod:`repro.engine.measures` — the measure layer as an **open plugin
+  registry**: the declarative :class:`MeasureSpec` contract (dataclass
+  fields are the parameter schema, hashed into the cache key),
+  :func:`register_measure` for user-defined measures, the
+  ``name[:key=value,...]`` spec parser behind the CLI, and six
+  built-ins (occupancy, classical, metrics, trips, components,
+  reachability) registered exactly like plugins;
+* :mod:`repro.engine.tasks` — the fused per-Δ :class:`AnalysisTask`
+  that aggregates once, scans once, and emits one separately-cached
+  result per measure, plus the within-Δ shard planner
+  (:class:`AnalysisShardTask` splits one huge evaluation into
+  destination-partition shards that merge back bit-identically) — all
+  generic over the registry;
 * :mod:`repro.engine.backends` — serial (default), thread-pool, and
   chunked process-pool execution, all bit-identical;
 * :mod:`repro.engine.cache` — layered memory/disk result store keyed on
@@ -61,23 +68,39 @@ from repro.engine.scheduler import (
     resolve_engine,
     set_default_engine,
 )
+from repro.engine.measures import (
+    MEASURE_REGISTRY,
+    ClassicalMeasure,
+    ComponentsMeasure,
+    ComponentsPoint,
+    MeasureSpec,
+    MetricsMeasure,
+    OccupancyMeasure,
+    ReachabilityMeasure,
+    ReachabilityPoint,
+    SeriesGeometry,
+    TripSample,
+    TripsMeasure,
+    available_measures,
+    build_measure,
+    measure_schema,
+    normalize_measures,
+    parse_measure_spec,
+    parse_measures_arg,
+    register_measure,
+    resolve_measure,
+    unregister_measure,
+)
 from repro.engine.tasks import (
     AnalysisShardResult,
     AnalysisShardTask,
     AnalysisTask,
-    ClassicalMeasure,
     DeltaTask,
-    MeasureSpec,
-    MetricsMeasure,
-    OccupancyMeasure,
     ShardPlan,
-    available_measures,
-    normalize_measures,
     plan_classical_sweep,
     plan_measure_sweep,
     plan_occupancy_sweep,
     plan_shard_expansion,
-    resolve_measure,
 )
 
 __all__ = [
@@ -86,10 +109,24 @@ __all__ = [
     "AnalysisShardTask",
     "AnalysisShardResult",
     "MeasureSpec",
+    "SeriesGeometry",
     "OccupancyMeasure",
     "ClassicalMeasure",
     "MetricsMeasure",
+    "TripsMeasure",
+    "TripSample",
+    "ComponentsMeasure",
+    "ComponentsPoint",
+    "ReachabilityMeasure",
+    "ReachabilityPoint",
+    "MEASURE_REGISTRY",
+    "register_measure",
+    "unregister_measure",
     "available_measures",
+    "measure_schema",
+    "build_measure",
+    "parse_measure_spec",
+    "parse_measures_arg",
     "normalize_measures",
     "resolve_measure",
     "ShardPlan",

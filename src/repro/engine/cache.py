@@ -42,7 +42,10 @@ class CacheStore(ABC):
         """The stored value, or :data:`MISS`."""
 
     @abstractmethod
-    def put(self, key: str, value: Any) -> None: ...
+    def put(self, key: str, value: Any, *, weight: float = 1.0) -> None:
+        """Store a value.  ``weight`` ranks how expensive the value is
+        to recompute (its eviction class); stores without eviction are
+        free to ignore it."""
 
 
 class MemoryStore(CacheStore):
@@ -70,7 +73,9 @@ class MemoryStore(CacheStore):
             self._entries.move_to_end(key)
             return self._entries[key]
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any, *, weight: float = 1.0) -> None:
+        # ``weight`` is an eviction-cost hint for capped persistent
+        # stores; the in-memory layer is entry-bounded plain LRU.
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -91,11 +96,20 @@ class DiskStore(CacheStore):
     misses — a damaged cache only costs recomputation.
 
     ``max_bytes`` caps the store's total size: when the cap is exceeded
-    after a write, the least-recently-*used* entries are deleted until
-    the store fits again.  Recency is tracked through each entry file's
-    mtime — refreshed on every hit — so a warm working set survives
-    while stale sweeps age out.  The sweep is best-effort and safe under
-    concurrent processes: a racing deletion only costs a recomputation.
+    after a write, entries are deleted until the store fits again.
+    Eviction order is **weight-tiered LRU**: every entry carries an
+    eviction weight (``put(..., weight=...)`` — how expensive the value
+    is to recompute; the sweep engine passes each measure's
+    ``cache_weight``), lighter tiers are swept before heavier ones, and
+    within a tier the least-recently-*used* entries go first.  A cheap
+    snapshot-metrics point therefore ages out long before an expensive
+    trip-sample result of the same vintage.  Recency is tracked through
+    each entry file's mtime — refreshed on every hit — so a warm working
+    set survives while stale sweeps age out; the weight is encoded in
+    the entry's file name (``<key>~w<weight>.pkl`` for non-default
+    weights), so the sweep never has to unpickle anything.  The sweep is
+    best-effort and safe under concurrent processes: a racing deletion
+    only costs a recomputation.
     """
 
     def __init__(
@@ -123,14 +137,42 @@ class DiskStore(CacheStore):
     def max_bytes(self) -> int | None:
         return self._max_bytes
 
-    def _path(self, key: str) -> Path:
-        return self._root / key[:2] / f"{key}.pkl"
+    def _path(self, key: str, weight: float = 1.0) -> Path:
+        name = f"{key}.pkl" if weight == 1.0 else f"{key}~w{weight:g}.pkl"
+        return self._root / key[:2] / name
+
+    def _variants(self, key: str) -> list[Path]:
+        """Every on-disk file holding this key, whatever its weight."""
+        parent = self._root / key[:2]
+        found = []
+        plain = parent / f"{key}.pkl"
+        if plain.exists():
+            found.append(plain)
+        found.extend(parent.glob(f"{key}~w*.pkl"))
+        return found
+
+    @staticmethod
+    def _entry_weight(path: Path) -> float:
+        """Eviction weight encoded in an entry's file name (1.0 default)."""
+        stem = path.stem
+        __, sep, tag = stem.rpartition("~w")
+        if not sep:
+            return 1.0
+        try:
+            return float(tag)
+        except ValueError:
+            return 1.0
 
     def _entries(self) -> list[Path]:
         return list(self._root.glob("??/*.pkl"))
 
     def get(self, key: str) -> Any:
         path = self._path(key)
+        if not path.exists():
+            weighted = self._variants(key)
+            if not weighted:
+                return MISS
+            path = weighted[0]
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
@@ -145,9 +187,10 @@ class DiskStore(CacheStore):
             pass
         return value
 
-    def put(self, key: str, value: Any) -> None:
-        path = self._path(key)
+    def put(self, key: str, value: Any, *, weight: float = 1.0) -> None:
+        path = self._path(key, weight)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stale = [p for p in self._variants(key) if p != path]
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -164,12 +207,23 @@ class DiskStore(CacheStore):
             except OSError:
                 pass
             raise
+        # One key, one file: a re-put under a different weight replaces
+        # the old variant instead of duplicating the entry.
+        removed = 0
+        for old in stale:
+            size = self._safe_size(old) if self._max_bytes is not None else 0
+            try:
+                old.unlink()
+            except OSError:
+                continue
+            removed += size
         if self._max_bytes is not None:
-            self._account_and_evict(written - replaced)
+            self._account_and_evict(written - replaced - removed)
 
     def _account_and_evict(self, delta_bytes: int) -> None:
-        """Fold a write's size delta into the running estimate; sweep LRU
-        entries when the store outgrows the cap."""
+        """Fold a write's size delta into the running estimate; sweep
+        entries — lightest weight first, LRU within a weight — when the
+        store outgrows the cap."""
         with self._size_lock:
             if self._approx_bytes is None:
                 self._approx_bytes = sum(
@@ -179,18 +233,21 @@ class DiskStore(CacheStore):
                 self._approx_bytes += delta_bytes
             if self._approx_bytes <= self._max_bytes:
                 return
-            # Exact sweep: stat everything, drop oldest-used first.
+            # Exact sweep: stat everything; cheap-to-recompute tiers are
+            # drained (oldest first) before any dearer entry goes.
             entries = []
             for path in self._entries():
                 try:
                     stat = path.stat()
                 except OSError:
                     continue
-                entries.append((stat.st_mtime, stat.st_size, path))
-            entries.sort()
-            total = sum(size for (_, size, _) in entries)
+                entries.append(
+                    (self._entry_weight(path), stat.st_mtime, stat.st_size, path)
+                )
+            entries.sort(key=lambda item: (item[0], item[1]))
+            total = sum(size for (_, _, size, _) in entries)
             while entries and total > self._max_bytes:
-                _, size, path = entries.pop(0)
+                _, _, size, path = entries.pop(0)
                 try:
                     path.unlink()
                 except OSError:
@@ -286,9 +343,9 @@ class SweepCache:
             self.misses += 1
         return MISS
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any, *, weight: float = 1.0) -> None:
         for store in self._stores:
-            store.put(key, value)
+            store.put(key, value, weight=weight)
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}

@@ -243,7 +243,9 @@ class SweepEngine:
             for j, value in zip(to_run, fresh):
                 unit_results[j] = value
                 if unit_keys[j] is not None and self.cache is not None:
-                    self.cache.put(unit_keys[j], value)
+                    self.cache.put(
+                        unit_keys[j], value, weight=units[j].cache_weight
+                    )
 
         for i in pending:
             start, count, sharded = groups[i]
@@ -257,9 +259,12 @@ class SweepEngine:
                 # Cache off: the narrowed task is the task itself.
                 parts[i] = fresh_parts
             else:
+                # Per-result weights ride along so the disk store's
+                # eviction sweep knows each measure's recompute cost.
+                weights = tasks[i].result_weights()
                 for j, part in zip(missing[i], fresh_parts):
                     parts[i][j] = part
-                    self.cache.put(keys[i][j], part)
+                    self.cache.put(keys[i][j], part, weight=weights[j])
 
         # The aggregated series the run materialized stay in the bounded
         # process-wide memo (repro.graphseries.aggregate_cached) on

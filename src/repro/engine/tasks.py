@@ -5,12 +5,15 @@ parameter analysis — is a set of fully independent evaluations, one per
 aggregation period.  This module makes that structure explicit, in two
 layers:
 
-* A :class:`MeasureSpec` names **one quantity** computable from the
-  series aggregated at Δ — the occupancy sweep point, the classical
-  parameters with distance statistics, the cheap snapshot metrics — and
-  knows how to contribute a collector to the backward scan, how to
-  finalize the collected state into its result, and how to describe
-  itself for the cache.
+* A :class:`~repro.engine.measures.MeasureSpec` names **one quantity**
+  computable from the series aggregated at Δ — the occupancy sweep
+  point, the classical parameters, trip samples, component histograms,
+  per-pair reachability... — and knows how to contribute a collector to
+  the backward scan, how to finalize the collected state into its
+  result, and how to describe itself for the cache.  Measures live in
+  an open registry (:mod:`repro.engine.measures`) that user code extends
+  at runtime via :func:`~repro.engine.measures.register_measure`; the
+  task and scheduler machinery below is generic over it.
 * An :class:`AnalysisTask` carries a **set** of measures for one Δ.  It
   aggregates the stream once, runs **one** backward scan feeding every
   measure's collector (the scan's multi-consumer contract,
@@ -26,250 +29,36 @@ processes; the stream itself is shipped separately (once per chunk).
 
 from __future__ import annotations
 
-import hashlib
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
+import hashlib
+
 import numpy as np
 
-from repro.core.occupancy import OccupancyCollector
-from repro.core.uniformity import score_distribution
+from repro.engine.measures import (
+    ClassicalMeasure,
+    MeasureSpec,
+    MetricsMeasure,
+    OccupancyMeasure,
+    SeriesGeometry,
+    normalize_measures,
+)
 from repro.graphseries.aggregation import aggregate_cached
-from repro.graphseries.metrics import series_metrics
 from repro.linkstream.stream import LinkStream
-from repro.temporal.reachability import DistanceTotals, scan_series
+from repro.temporal.reachability import scan_series
 from repro.utils.errors import EngineError
 
 #: Version of the evaluation numerics baked into every cache key.  Bump
 #: whenever any code a task's ``evaluate`` depends on changes results
 #: (aggregation, the backward scan, occupancy collection, scoring), so
 #: persistent disk caches from older releases invalidate instead of
-#: silently serving stale sweep points.  (2: the fused measure pipeline —
-#: per-measure results, integer-exact distance sums.)
-EVAL_VERSION = 2
-
-
-@dataclass(frozen=True)
-class SeriesGeometry:
-    """Shape of the aggregated series, identical across shards of one Δ."""
-
-    num_nodes: int
-    num_windows: int
-    num_nonempty_windows: int
-
-
-@dataclass(frozen=True)
-class MeasureSpec(ABC):
-    """One quantity measurable from the series aggregated at one Δ.
-
-    Subclasses are frozen dataclasses (hashable, picklable).  A measure
-    either feeds on the backward scan (it contributes a collector /
-    accumulator via :meth:`make_collector`) or on the series itself
-    (:meth:`series_payload`), or both; :meth:`finalize` assembles the
-    final per-Δ result from the collected state.  Finalization always
-    goes through the *merge* shape — a list of collectors, one per shard
-    (length 1 for an unsharded evaluation) — so sharded and unsharded
-    paths are bit-identical by construction.
-    """
-
-    @property
-    @abstractmethod
-    def name(self) -> str:
-        """Unique short name of the measure (``occupancy``, ``classical``,
-        ``metrics``); the key under which its result is emitted."""
-
-    #: Whether the measure contributes a collector to the backward scan.
-    #: (A class attribute, not a dataclass field: it is part of the
-    #: measure's *kind*, not of its parameters.)
-    scans = False
-    #: Whether the measure needs per-series (non-scan) work.  Carried by
-    #: a single shard when the evaluation is sharded.
-    has_payload = False
-
-    def token(self) -> tuple:
-        """Full result identity (all parameters, scoring included)."""
-        return ()
-
-    def collector_token(self) -> tuple:
-        """Scan-collector identity — the parameters that shape what the
-        scan accumulates, *excluding* pure post-processing (scoring
-        methods), so shard cache entries are shared across sweeps that
-        differ only in how the collected state is scored."""
-        return ()
-
-    def make_collector(self):
-        """A fresh scan consumer for one evaluation (``None`` when the
-        measure does not feed on the scan)."""
-        return None
-
-    def series_payload(self, series) -> Any:
-        """Non-scan work on the aggregated series (``None`` if none)."""
-        return None
-
-    @abstractmethod
-    def finalize(
-        self,
-        delta: float,
-        geometry: SeriesGeometry,
-        payload: Any,
-        collectors: list,
-    ) -> Any:
-        """Assemble the per-Δ result from shard collectors + payload.
-
-        ``collectors`` holds one collector per shard, in shard order
-        (empty when :attr:`scans` is false).  Implementations must fold
-        into *fresh* accumulators — shard collectors may live in the
-        sweep cache, which must stay pristine.
-        """
-
-
-@dataclass(frozen=True)
-class OccupancyMeasure(MeasureSpec):
-    """Occupancy-rate distribution of all minimal trips, scored against
-    the uniform density — the occupancy method's per-Δ quantity
-    (Section 4), finalized as a
-    :class:`~repro.core.saturation.SweepPoint`."""
-
-    methods: tuple[str, ...] = ("mk",)
-    bins: int = 4096
-    exact: bool = False
-
-    scans = True
-    has_payload = False
-
-    @property
-    def name(self) -> str:
-        return "occupancy"
-
-    def token(self) -> tuple:
-        return (self.methods, self.bins, self.exact)
-
-    def collector_token(self) -> tuple:
-        # Scoring methods deliberately excluded: the collector is the
-        # same whatever statistic scores it at finalize time.
-        return (self.bins, self.exact)
-
-    def make_collector(self) -> OccupancyCollector:
-        return OccupancyCollector(bins=self.bins, exact=self.exact)
-
-    def finalize(self, delta, geometry, payload, collectors):
-        from repro.core.saturation import SweepPoint
-
-        merged = OccupancyCollector(bins=self.bins, exact=self.exact)
-        for collector in collectors:
-            merged.merge(collector)
-        distribution = merged.distribution()
-        return SweepPoint(
-            delta=float(delta),
-            num_windows=geometry.num_windows,
-            num_nonempty_windows=geometry.num_nonempty_windows,
-            num_trips=merged.num_trips,
-            distribution=distribution,
-            scores=score_distribution(distribution, self.methods),
-        )
-
-
-@dataclass(frozen=True)
-class ClassicalMeasure(MeasureSpec):
-    """Classical parameters of the aggregated series (Section 3): the
-    snapshot means plus the distance statistics, finalized as a
-    :class:`~repro.core.classical.ClassicalPoint`.
-
-    The distance sums ride the same backward scan as every other
-    measure, via a :class:`~repro.temporal.reachability.DistanceTotals`
-    accumulator; the snapshot means are per-series payload work.
-    """
-
-    scans = True
-    has_payload = True
-
-    @property
-    def name(self) -> str:
-        return "classical"
-
-    def make_collector(self) -> DistanceTotals:
-        return DistanceTotals()
-
-    def series_payload(self, series):
-        return series_metrics(series)
-
-    def finalize(self, delta, geometry, payload, collectors):
-        from repro.core.classical import ClassicalPoint
-
-        merged = DistanceTotals()
-        for collector in collectors:
-            merged.merge(collector)
-        distances = merged.stats(geometry.num_nodes, geometry.num_windows)
-        return ClassicalPoint(float(delta), payload, distances)
-
-
-@dataclass(frozen=True)
-class MetricsMeasure(MeasureSpec):
-    """Snapshot metrics only — the classical parameters without the
-    distance statistics, so no scan contribution at all.  Finalized as a
-    distance-free :class:`~repro.core.classical.ClassicalPoint`."""
-
-    scans = False
-    has_payload = True
-
-    @property
-    def name(self) -> str:
-        return "metrics"
-
-    def series_payload(self, series):
-        return series_metrics(series)
-
-    def finalize(self, delta, geometry, payload, collectors):
-        from repro.core.classical import ClassicalPoint
-
-        return ClassicalPoint(float(delta), payload, None)
-
-
-#: Measure names accepted by :func:`resolve_measure` (CLI ``--measures``).
-MEASURE_REGISTRY: dict[str, type[MeasureSpec]] = {
-    "occupancy": OccupancyMeasure,
-    "classical": ClassicalMeasure,
-    "metrics": MetricsMeasure,
-}
-
-
-def available_measures() -> list[str]:
-    """Measure names accepted by name (CLI ``--measures`` and friends)."""
-    return sorted(MEASURE_REGISTRY)
-
-
-def resolve_measure(spec: "str | MeasureSpec") -> MeasureSpec:
-    """A :class:`MeasureSpec` from a name (default parameters) or an
-    instance (returned as-is)."""
-    if isinstance(spec, MeasureSpec):
-        return spec
-    if spec not in MEASURE_REGISTRY:
-        raise EngineError(
-            f"unknown measure {spec!r}; available: {available_measures()}"
-        )
-    return MEASURE_REGISTRY[spec]()
-
-
-def normalize_measures(
-    measures: "Sequence[str | MeasureSpec] | str | MeasureSpec",
-) -> tuple[MeasureSpec, ...]:
-    """Resolve a measure-set spec into a tuple of unique measures.
-
-    Accepts a single name/instance or a sequence; names resolve through
-    :data:`MEASURE_REGISTRY`.  Duplicate measure names are rejected —
-    one fused task emits exactly one result per name.
-    """
-    if isinstance(measures, (str, MeasureSpec)):
-        measures = (measures,)
-    resolved = tuple(resolve_measure(m) for m in measures)
-    if not resolved:
-        raise EngineError("a measure set needs at least one measure")
-    names = [m.name for m in resolved]
-    if len(set(names)) != len(names):
-        raise EngineError(f"duplicate measure names in set: {names}")
-    return resolved
+#: silently serving stale sweep points.  (3: the open measure registry —
+#: parameter-schema-derived measure tokens, payload parameters in shard
+#: keys.)
+EVAL_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -284,6 +73,10 @@ class DeltaTask(ABC):
     """
 
     delta: float
+
+    #: Relative cost of recomputing this task's cached result — the disk
+    #: store's eviction class (cheaper entries are swept first).
+    cache_weight = 1.0
 
     @property
     @abstractmethod
@@ -311,6 +104,10 @@ class DeltaTask(ABC):
     def result_keys(self, stream_fingerprint: str) -> list[str]:
         """One cache key per separately-reusable sub-result."""
         return [self.cache_key(stream_fingerprint)]
+
+    def result_weights(self) -> list[float]:
+        """Eviction weight per sub-result, aligned with :meth:`result_keys`."""
+        return [self.cache_weight]
 
     def narrow(self, missing: Sequence[int]) -> "DeltaTask":
         """A task computing only the sub-results at ``missing`` (indices
@@ -353,7 +150,9 @@ class AnalysisTask(DeltaTask):
     returns a dict mapping measure name to its result; the scheduler
     caches each entry under its own per-measure key (see
     :meth:`result_keys`) and :meth:`narrow`\\ s the task to the missing
-    measures on partial cache hits.
+    measures on partial cache hits.  Any registered measure — built-in
+    or plugin — rides unchanged: the task is generic over the
+    :class:`~repro.engine.measures.MeasureSpec` contract.
     """
 
     measures: tuple[MeasureSpec, ...] = ()
@@ -406,6 +205,9 @@ class AnalysisTask(DeltaTask):
 
     def result_keys(self, stream_fingerprint: str) -> list[str]:
         return [self.measure_key(stream_fingerprint, m) for m in self.measures]
+
+    def result_weights(self) -> list[float]:
+        return [m.cache_weight for m in self.measures]
 
     def narrow(self, missing: Sequence[int]) -> "AnalysisTask":
         subset = tuple(self.measures[i] for i in missing)
@@ -562,10 +364,11 @@ class AnalysisShardTask(DeltaTask):
     exactly the full scan's contributions for the shard's destinations.
     The shard spec is part of the cache key, so shard results never
     collide with per-measure results or with other shard layouts.  Pure
-    post-processing parameters (scoring methods) are deliberately *not*
-    part of a shard: the result is raw collectors, finalization happens
-    at merge time, so sweeps differing only in scoring share shard
-    entries.
+    post-processing parameters (a measure's
+    :attr:`~repro.engine.measures.MeasureSpec.scoring_fields`) are
+    deliberately *not* part of a shard: the result is raw collectors,
+    finalization happens at merge time, so sweeps differing only in
+    scoring share shard entries.
     """
 
     measures: tuple[MeasureSpec, ...] = ()
@@ -590,6 +393,12 @@ class AnalysisShardTask(DeltaTask):
         return "analysis-shard"
 
     @property
+    def cache_weight(self) -> float:
+        """A shard entry reruns a restricted scan for *every* riding
+        measure: as dear as the dearest measure it carries."""
+        return max(m.cache_weight for m in self.measures)
+
+    @property
     def carries_payload(self) -> bool:
         """Per-series payload work rides on shard 0 alone."""
         return self.shard_index == 0
@@ -599,8 +408,11 @@ class AnalysisShardTask(DeltaTask):
             tuple(
                 (m.name, m.collector_token()) for m in self.measures if m.scans
             ),
+            # Payload measures carry their full parameter token: the
+            # payload is computed (and cached) shard-side, so its
+            # parameters are part of the shard result's identity.
             tuple(
-                m.name
+                (m.name, m.token())
                 for m in self.measures
                 if m.has_payload and self.carries_payload
             ),
@@ -657,9 +469,10 @@ def plan_measure_sweep(
 ) -> list[AnalysisTask]:
     """One fused :class:`AnalysisTask` per candidate Δ, in grid order.
 
-    ``measures`` accepts measure names, :class:`MeasureSpec` instances,
-    or a mix; every Δ evaluates the whole set from one aggregation and
-    one scan.
+    ``measures`` accepts measure names (parameterized specs like
+    ``"trips:max_samples=64"`` included),
+    :class:`~repro.engine.measures.MeasureSpec` instances, or a mix;
+    every Δ evaluates the whole set from one aggregation and one scan.
     """
     measure_set = normalize_measures(measures)
     return [

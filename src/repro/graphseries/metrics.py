@@ -53,6 +53,16 @@ def _component_sizes_from_edges(
     return counts[counts > 0]
 
 
+def component_sizes(num_nodes: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Sizes of the weakly-connected components spanned by an edge list.
+
+    The public face of the union-find above, for callers that hold raw
+    ``(u, v)`` edge arrays (e.g. per-window iteration over a series)
+    rather than a :class:`Snapshot`.  Isolated nodes are not reported.
+    """
+    return _component_sizes_from_edges(num_nodes, u, v)
+
+
 def connected_component_sizes(snapshot: Snapshot, *, include_isolated: bool = False) -> np.ndarray:
     """Sizes of the snapshot's (weakly) connected components, descending.
 

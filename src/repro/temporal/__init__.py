@@ -7,8 +7,10 @@ stream, plus reference brute-force implementations used to verify it.
 """
 
 from repro.temporal.bruteforce import (
+    bruteforce_component_sizes,
     bruteforce_earliest_arrival,
     bruteforce_minimal_trips,
+    bruteforce_pair_reachability,
     enumerate_temporal_paths,
     minimal_trips_from_paths,
 )
@@ -17,6 +19,7 @@ from repro.temporal.collectors import (
     CountingCollector,
     TripCollector,
     TripListCollector,
+    trip_priorities,
 )
 from repro.temporal.paths import (
     earliest_arrival_path,
@@ -26,6 +29,7 @@ from repro.temporal.paths import (
 from repro.temporal.reachability import (
     DistanceStats,
     DistanceTotals,
+    EarliestArrivalAccumulator,
     ScanResult,
     scan_series,
     scan_stream,
@@ -42,16 +46,20 @@ __all__ = [
     "TripListCollector",
     "CountingCollector",
     "ChainCollector",
+    "trip_priorities",
     "scan_series",
     "scan_stream",
     "series_distance_stats",
     "ScanResult",
     "DistanceStats",
     "DistanceTotals",
+    "EarliestArrivalAccumulator",
     "forward_earliest_arrival",
     "earliest_arrival_path",
     "temporal_path_is_valid",
     "bruteforce_earliest_arrival",
     "bruteforce_minimal_trips",
+    "bruteforce_pair_reachability",
+    "bruteforce_component_sizes",
     "enumerate_temporal_paths",
 ]

@@ -10,7 +10,12 @@ Two independent ways to recompute what the backward engine produces:
   backward engine's staging logic.
 
 The test suite cross-validates all three implementations on random
-instances.
+instances.  The same file holds the oracles for the engine's measure
+layer: :func:`bruteforce_pair_reachability` recomputes the
+``reachability`` measure's per-pair earliest-arrival sums from repeated
+forward scans, and :func:`bruteforce_component_sizes` recomputes
+connected-component sizes by plain BFS (independent of the union-find
+behind the ``components`` measure).
 """
 
 from __future__ import annotations
@@ -169,3 +174,74 @@ def bruteforce_minimal_trips(
         np.asarray(rows_hops, dtype=np.int64),
         arr_arr - dep_arr + duration_extra,
     )
+
+
+def bruteforce_pair_reachability(
+    series: GraphSeries,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pair earliest-arrival sums via one forward scan per
+    ``(source, departure step)`` — the oracle for the engine's
+    ``reachability`` measure.
+
+    Returns ``(reach_steps, dist_sum, hops_sum)`` as exact ``int64``
+    matrices: for every ordered pair ``(u, v)`` of distinct nodes,
+    ``reach_steps[u, v]`` counts the departure steps ``t`` in
+    ``[0, num_steps)`` from which ``u`` reaches ``v``; ``dist_sum``
+    sums the corresponding ``arrival - t + 1`` distances (window
+    counts); ``hops_sum`` sums the minimum hop counts at those earliest
+    arrivals.  Diagonal entries are zero (pairs of distinct nodes).
+    Quadratic-ish — small series only.
+    """
+    if not isinstance(series, GraphSeries):
+        raise ValidationError(
+            f"expected a GraphSeries, got {type(series).__name__}"
+        )
+    n = series.num_nodes
+    reach = np.zeros((n, n), dtype=np.int64)
+    dist = np.zeros((n, n), dtype=np.int64)
+    hops_sum = np.zeros((n, n), dtype=np.int64)
+    for source in range(n):
+        for t in range(series.num_steps):
+            arrival, hops = forward_earliest_arrival(series, source, float(t))
+            finite = np.isfinite(arrival)
+            finite[source] = False
+            reach[source, finite] += 1
+            dist[source, finite] += (
+                arrival[finite].astype(np.int64) - t + 1
+            )
+            hops_sum[source, finite] += hops[finite]
+    return reach, dist, hops_sum
+
+
+def bruteforce_component_sizes(
+    num_nodes: int, u: np.ndarray, v: np.ndarray
+) -> list[int]:
+    """Connected-component sizes of one edge list, by plain BFS.
+
+    Weak connectivity (direction ignored), isolated nodes not reported —
+    the same convention as
+    :func:`repro.graphseries.metrics.component_sizes`, computed without
+    the union-find: the oracle for the ``components`` measure.  Returns
+    the sizes in descending order.
+    """
+    adjacency: dict[int, set[int]] = {}
+    for a, b in zip(u.tolist(), v.tolist()):
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    seen: set[int] = set()
+    sizes: list[int] = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        queue = [start]
+        seen.add(start)
+        size = 0
+        while queue:
+            node = queue.pop()
+            size += 1
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        sizes.append(size)
+    return sorted(sizes, reverse=True)

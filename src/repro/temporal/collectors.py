@@ -5,6 +5,14 @@ node per window).  Collectors consume those batches; different analyses
 need different materializations (full trip lists for validation,
 occupancy histograms for the saturation sweep, bare counts for metrics),
 so the engine is decoupled from storage via this small protocol.
+
+Every built-in collector implements the **shard contract** the engine's
+within-Δ sharding relies on: an in-place ``merge(other)`` that absorbs a
+sibling collector fed from a disjoint destination shard, and an
+``empty`` property flagging a collector that has seen no trips yet (a
+legitimately common state for a shard whose nodes receive nothing).
+Merging disjoint shards reproduces exactly what an unsharded scan would
+have collected.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.temporal.trips import TripSet
+from repro.utils.errors import ValidationError
 
 
 class TripCollector(Protocol):
@@ -32,16 +41,86 @@ class TripCollector(Protocol):
         ...
 
 
-class TripListCollector:
-    """Materializes every minimal trip into a :class:`TripSet`."""
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a ``uint64`` array (wraps mod 2**64)."""
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
 
-    def __init__(self) -> None:
+
+def trip_priorities(
+    u: np.ndarray,
+    v: np.ndarray,
+    dep: np.ndarray,
+    arr: np.ndarray,
+    seed: int = 0,
+) -> np.ndarray:
+    """Deterministic pseudo-random ``uint64`` priority per trip.
+
+    A pure function of the trip identity ``(u, v, dep, arr)`` and the
+    seed — independent of scan order, shard layout, and platform — so
+    "keep the ``k`` smallest priorities" is a well-defined sample of a
+    trip *set*: taking the bottom-k of a union equals unioning bottom-k
+    sketches, which is exactly what shard merging needs to stay
+    bit-identical.  Time values are hashed through their ``float64`` bit
+    pattern (window indices are integers, exact far beyond any feasible
+    series length).
+    """
+    h = _mix64(u.astype(np.uint64) + np.uint64(seed & 0xFFFFFFFFFFFFFFFF))
+    h = _mix64(h ^ v.astype(np.uint64))
+    h = _mix64(h ^ np.asarray(dep, dtype=np.float64).view(np.uint64))
+    h = _mix64(h ^ np.asarray(arr, dtype=np.float64).view(np.uint64))
+    return h
+
+
+class TripListCollector:
+    """Materializes minimal trips into a :class:`TripSet`.
+
+    Parameters
+    ----------
+    max_trips:
+        Optional cap on the number of *retained* trips.  ``None`` (the
+        default) keeps every trip.  With a cap, the collector keeps the
+        ``max_trips`` trips with the smallest :func:`trip_priorities`
+        values — a reservoir-style uniform sample that is a pure
+        function of the trip set, so capped collectors fed from disjoint
+        destination shards :meth:`merge` back into exactly the sample an
+        unsharded capped scan retains.  Exact totals (trip count, hop
+        and duration sums) keep counting *all* trips regardless of the
+        cap.
+    seed:
+        Priority seed for the capped sample (part of the sample's
+        identity; ignored without a cap).
+    """
+
+    def __init__(self, *, max_trips: int | None = None, seed: int = 0) -> None:
+        if max_trips is not None and max_trips < 1:
+            raise ValidationError("max_trips must be a positive integer")
+        self._max_trips = max_trips
+        self._seed = int(seed)
         self._u: list[np.ndarray] = []
         self._v: list[np.ndarray] = []
         self._dep: list[np.ndarray] = []
         self._arr: list[np.ndarray] = []
         self._hops: list[np.ndarray] = []
         self._dur: list[np.ndarray] = []
+        self._retained = 0
+        self.num_recorded = 0
+        self.hops_total = 0
+        self.duration_total = 0
+
+    @property
+    def max_trips(self) -> int | None:
+        return self._max_trips
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def empty(self) -> bool:
+        """Whether the collector has seen no trips yet (shard contract)."""
+        return not self.num_recorded
 
     def record(
         self,
@@ -55,12 +134,42 @@ class TripListCollector:
         count = targets.size
         if not count:
             return
+        self.num_recorded += count
+        self.hops_total += int(hops.sum())
+        self.duration_total += durations.sum().item()
         self._u.append(np.full(count, source, dtype=np.int64))
         self._v.append(targets.copy())
         self._dep.append(np.full(count, dep))
         self._arr.append(arrivals.copy())
         self._hops.append(hops.copy())
         self._dur.append(durations.copy())
+        self._retained += count
+        self._maybe_compact()
+
+    def _maybe_compact(self, *, force: bool = False) -> None:
+        """Shrink the retained rows back to the bottom-``max_trips`` of
+        the priority order (total order: priority, then trip identity,
+        so the retained set never depends on arrival order)."""
+        cap = self._max_trips
+        if cap is None or not self._retained:
+            return
+        if not force and self._retained <= max(2 * cap, cap + 256):
+            return
+        u = np.concatenate(self._u)
+        v = np.concatenate(self._v)
+        dep = np.concatenate(self._dep)
+        arr = np.concatenate(self._arr)
+        hops = np.concatenate(self._hops)
+        dur = np.concatenate(self._dur)
+        if u.size > cap:
+            priority = trip_priorities(u, v, dep, arr, seed=self._seed)
+            order = np.lexsort((arr, dep, v, u, priority))[:cap]
+            u, v, dep, arr, hops, dur = (
+                u[order], v[order], dep[order], arr[order], hops[order], dur[order]
+            )
+        self._u, self._v, self._dep = [u], [v], [dep]
+        self._arr, self._hops, self._dur = [arr], [hops], [dur]
+        self._retained = u.size
 
     def merge(self, other: "TripListCollector") -> "TripListCollector":
         """Absorb another collector's batches (in-place; returns ``self``).
@@ -68,18 +177,37 @@ class TripListCollector:
         Used to reassemble shard-restricted scans: each shard sees a
         disjoint subset of the trips, so concatenating batch lists loses
         nothing.  Batch order follows merge order, not global scan order.
+        Capped collectors must share ``max_trips`` and ``seed``; the
+        merged retained set is the bottom-``max_trips`` of the union —
+        identical to an unsharded capped collection.
         """
+        if not isinstance(other, TripListCollector):
+            raise ValidationError(
+                f"cannot merge TripListCollector with {type(other).__name__}"
+            )
+        if (self._max_trips, self._seed) != (other._max_trips, other._seed):
+            raise ValidationError(
+                "cannot merge trip collectors with different caps or seeds: "
+                f"({self._max_trips}, {self._seed}) vs "
+                f"({other._max_trips}, {other._seed})"
+            )
         self._u.extend(other._u)
         self._v.extend(other._v)
         self._dep.extend(other._dep)
         self._arr.extend(other._arr)
         self._hops.extend(other._hops)
         self._dur.extend(other._dur)
+        self._retained += other._retained
+        self.num_recorded += other.num_recorded
+        self.hops_total += other.hops_total
+        self.duration_total += other.duration_total
+        self._maybe_compact()
         return self
 
     def trips(self) -> TripSet:
-        """Assemble the collected batches into one :class:`TripSet`."""
-        if not self._u:
+        """Assemble the retained batches into one :class:`TripSet`."""
+        self._maybe_compact(force=True)
+        if not self._u or not self._retained:
             empty = np.empty(0, dtype=np.int64)
             return TripSet(empty, empty.copy(), np.empty(0), np.empty(0), empty.copy(), np.empty(0))
         return TripSet(
@@ -99,6 +227,11 @@ class CountingCollector:
         self.num_trips = 0
         self.max_hops = 0
         self.max_duration = 0.0
+
+    @property
+    def empty(self) -> bool:
+        """Whether the collector has seen no trips yet (shard contract)."""
+        return not self.num_trips
 
     def record(
         self,
@@ -131,10 +264,30 @@ class ChainCollector:
     preferred spelling; this wrapper remains for callers that need a
     single collector-shaped object (e.g. :func:`scan_stream` pipelines
     built around one collector slot).
+
+    The chain satisfies the same shard contract as its children:
+    :meth:`merge` zips two equal-shape chains together (child ``i``
+    absorbs the other chain's child ``i``), and :attr:`empty` reports
+    whether every child is empty — so a chained consumer survives
+    destination sharding exactly like a bare collector.
     """
 
     def __init__(self, *collectors: TripCollector) -> None:
         self._collectors = collectors
+
+    @property
+    def collectors(self) -> tuple:
+        """The wrapped collectors, in fan-out order."""
+        return self._collectors
+
+    @property
+    def empty(self) -> bool:
+        """Whether every wrapped collector is empty (shard contract).
+
+        An empty chain (no children) is vacuously empty.  Children must
+        expose ``empty`` themselves — all built-in collectors do.
+        """
+        return all(collector.empty for collector in self._collectors)
 
     def record(
         self,
@@ -147,3 +300,23 @@ class ChainCollector:
     ) -> None:
         for collector in self._collectors:
             collector.record(source, dep, targets, arrivals, hops, durations)
+
+    def merge(self, other: "ChainCollector") -> "ChainCollector":
+        """Absorb another chain child-by-child (in-place; returns ``self``).
+
+        The chains must have the same length; child ``i`` merges the
+        other chain's child ``i`` via its own ``merge``, which also
+        enforces the children's type compatibility.
+        """
+        if not isinstance(other, ChainCollector):
+            raise ValidationError(
+                f"cannot merge ChainCollector with {type(other).__name__}"
+            )
+        if len(self._collectors) != len(other._collectors):
+            raise ValidationError(
+                f"cannot merge chains of {len(self._collectors)} and "
+                f"{len(other._collectors)} collectors"
+            )
+        for mine, theirs in zip(self._collectors, other._collectors):
+            mine.merge(theirs)
+        return self

@@ -42,12 +42,19 @@ scan, not one scan per measure.  Two consumer shapes exist:
 * **state accumulators** (anything with ``observe_row(...)`` /
   ``close_run(...)`` — see :class:`DistanceTotals`) watch the arrival
   matrix itself and fold per-departure-step quantities in closed form.
+  An accumulator may additionally define ``begin(num_nodes, num_steps,
+  cols)``, called once before the backward pass with the scan's exact
+  geometry (``cols`` is the target restriction, ``None`` for a full
+  scan), and ``finish()``, called once after it — the hooks per-pair
+  accumulators use to allocate their state and fold its tail.
 
 :class:`DistanceTotals` is the accumulator behind the classical distance
 statistics (Figure 2 bottom); it used to be hard-wired into the scan via
 a ``compute_distances`` flag and is now an ordinary member of the
 consumer set, mergeable across destination shards exactly like the trip
-collectors.
+collectors.  :class:`EarliestArrivalAccumulator` keeps the same sums
+*per ordered pair* instead of globally — the state behind the engine's
+``reachability`` measure.
 
 The recursion couples the *rows* of the state (row ``u`` reads the rows
 of ``u``'s out-neighbours) but never its columns: ``A[u, v]`` depends
@@ -144,6 +151,8 @@ class DistanceTotals:
 
     def observe_row(
         self,
+        source: int,
+        step: int,
         old_A: np.ndarray,
         old_H: np.ndarray,
         new_A: np.ndarray,
@@ -152,9 +161,14 @@ class DistanceTotals:
     ) -> None:
         """Fold one source-row update into the window-state totals.
 
-        ``self_col`` is the column position of the row's own node (the
-        diagonal entry, excluded from distance statistics), or -1 when
-        the scan's target restriction excludes that node.
+        ``source`` is the node whose state row was updated and ``step``
+        the window being processed (both unused here — the totals are
+        global and folded run-wise through :meth:`close_run` — but part
+        of the accumulator contract so per-pair accumulators can fold
+        row-wise instead).  ``self_col`` is the column position of the
+        row's own node (the diagonal entry, excluded from distance
+        statistics), or -1 when the scan's target restriction excludes
+        that node.
         """
         old_finite = old_A < INT_INF
         new_finite = new_A < INT_INF
@@ -218,6 +232,152 @@ class DistanceTotals:
             reachable_fraction=count / total_possible if total_possible else 0.0,
             reachable_count=count,
         )
+
+
+class EarliestArrivalAccumulator:
+    """Per-pair earliest-arrival sums from a backward scan.
+
+    The same closed-form departure-run folding as
+    :class:`DistanceTotals`, kept *per ordered pair* instead of
+    globally: for every source ``u`` and every scanned destination
+    column ``c`` the accumulator counts the departure steps from which
+    ``u`` reaches ``c`` (``reach_steps``) and sums the corresponding
+    distances in window counts (``dist_sum``, each finite entry
+    contributing ``A - t + 1`` per departure step ``t``) and minimum hop
+    counts (``hops_sum``).  All three are exact ``int64`` matrices of
+    shape ``(num_nodes, num_columns)``, column ``j`` describing
+    destination node ``cols[j]``.
+
+    Folding is **row-wise**: a state row only changes when the scan
+    updates it, so each row's current values are constant over the
+    departure steps between two of its updates.  :meth:`observe_row`
+    folds the outgoing values over that interval in closed form — ``O(
+    width)`` per row update, the same order as the update itself — and
+    :meth:`finish` folds each row's final values down to departure step
+    0.  (:meth:`close_run`, the global-run hook, is a deliberate no-op
+    here.)  A target-restricted scan accumulates exactly the full
+    scan's columns for its ``cols`` (columns are independent dynamic
+    programs), so disjoint destination shards reassemble the full
+    matrices by plain column scatter — the shard-merge rule of the
+    engine's ``reachability`` measure.
+
+    Diagonal entries (``cols[j] == u``) are accumulated like any other
+    and must be masked by the consumer (the measure zeroes them, per the
+    paper's pairs-of-distinct-nodes convention).
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_steps",
+        "cols",
+        "reach_steps",
+        "dist_sum",
+        "hops_sum",
+        "_A",
+        "_H",
+        "_row_hi",
+    )
+
+    def __init__(self) -> None:
+        self.num_nodes = 0
+        self.num_steps = 0
+        self.cols: np.ndarray | None = None
+        self.reach_steps: np.ndarray | None = None
+        self.dist_sum: np.ndarray | None = None
+        self.hops_sum: np.ndarray | None = None
+        self._A: np.ndarray | None = None
+        self._H: np.ndarray | None = None
+        self._row_hi: np.ndarray | None = None
+
+    def begin(
+        self, num_nodes: int, num_steps: int, cols: np.ndarray | None
+    ) -> None:
+        """Allocate state for a scan of ``num_nodes`` rows over the
+        destination columns ``cols`` (``None`` = the full node set)."""
+        self.num_nodes = int(num_nodes)
+        self.num_steps = int(num_steps)
+        self.cols = (
+            np.arange(num_nodes, dtype=np.int64)
+            if cols is None
+            else np.asarray(cols, dtype=np.int64)
+        )
+        width = self.cols.size
+        self.reach_steps = np.zeros((num_nodes, width), dtype=np.int64)
+        self.dist_sum = np.zeros((num_nodes, width), dtype=np.int64)
+        self.hops_sum = np.zeros((num_nodes, width), dtype=np.int64)
+        self._A = np.full((num_nodes, width), INT_INF, dtype=np.int64)
+        self._H = np.full((num_nodes, width), HOP_INF, dtype=np.int64)
+        #: Highest departure step whose contribution for the row's
+        #: *current* values is still pending.  The initial all-infinite
+        #: rows contribute nothing, so starting at the last step is safe.
+        self._row_hi = np.full(num_nodes, num_steps - 1, dtype=np.int64)
+
+    def _fold_row(
+        self,
+        source: int,
+        A_row: np.ndarray,
+        H_row: np.ndarray,
+        t_low: int,
+        t_high: int,
+    ) -> None:
+        """Fold one row's constant values over departures ``[t_low, t_high]``."""
+        if t_high < t_low:
+            return
+        finite = A_row < INT_INF
+        if not finite.any():
+            return
+        run_len = t_high - t_low + 1
+        t_total = (t_low + t_high) * run_len // 2
+        self.reach_steps[source, finite] += run_len
+        self.dist_sum[source, finite] += run_len * (A_row[finite] + 1) - t_total
+        self.hops_sum[source, finite] += run_len * H_row[finite]
+
+    def observe_row(
+        self,
+        source: int,
+        step: int,
+        old_A: np.ndarray,
+        old_H: np.ndarray,
+        new_A: np.ndarray,
+        new_H: np.ndarray,
+        self_col: int,
+    ) -> None:
+        """Fold the outgoing row values, then mirror the update.
+
+        The row's old values were the reachability picture for every
+        departure step in ``(step, row_hi]`` — no lower window has
+        touched the row in between.
+        """
+        k = int(step)
+        self._fold_row(source, old_A, old_H, k + 1, int(self._row_hi[source]))
+        self._A[source] = new_A
+        self._H[source] = new_H
+        self._row_hi[source] = k
+
+    def close_run(self, t_low: int, t_high: int) -> None:
+        """No-op: folding happens row-wise (see the class docstring)."""
+
+    def finish(self) -> None:
+        """Fold every row's final values over the remaining departures
+        ``[0, row_hi]`` (called once by the scan, after the last window).
+
+        The mirrored scan state is dead afterwards and is released —
+        shard accumulators land in the sweep cache, which should carry
+        the three result matrices, not two garbage state copies too.
+        """
+        if self._A is None:
+            return
+        for source in range(self.num_nodes):
+            self._fold_row(
+                source,
+                self._A[source],
+                self._H[source],
+                0,
+                int(self._row_hi[source]),
+            )
+        self._A = None
+        self._H = None
+        self._row_hi = None
 
 
 @dataclass(frozen=True)
@@ -336,7 +496,9 @@ def _process_group(
         if accumulators:
             self_col = u if col_of is None else int(col_of[u])
             for accumulator in accumulators:
-                accumulator.observe_row(old_A, old_H, new_A, new_H, self_col)
+                accumulator.observe_row(
+                    u, time_value, old_A, old_H, new_A, new_H, self_col
+                )
 
         record = improved.copy()
         if not include_self:
@@ -425,6 +587,12 @@ def scan_series(
     n = series.num_nodes
     collectors, accumulators = _split_consumers(collector)
     cols, col_of, width = _target_columns(targets, n)
+    for accumulator in accumulators:
+        # Geometry hook: per-pair accumulators allocate their state from
+        # the scan's exact shape (row count, destination columns).
+        begin = getattr(accumulator, "begin", None)
+        if begin is not None:
+            begin(n, series.num_steps, cols)
     A = np.full((n, width), INT_INF, dtype=np.int64)
     H = np.full((n, width), HOP_INF, dtype=np.int64)
 
@@ -451,6 +619,11 @@ def scan_series(
         # the final state.
         for accumulator in accumulators:
             accumulator.close_run(0, last_processed)
+    for accumulator in accumulators:
+        # Completion hook: row-wise accumulators fold their tails here.
+        finish = getattr(accumulator, "finish", None)
+        if finish is not None:
+            finish()
     return ScanResult(num_trips=num_trips, num_steps=series.num_steps)
 
 

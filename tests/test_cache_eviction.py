@@ -162,3 +162,63 @@ class TestCacheCli:
         monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "junk")
         assert main(args) == 2
         assert "REPRO_CACHE_MAX_BYTES" in capsys.readouterr().err
+
+
+class TestWeightedEviction:
+    """Per-measure eviction weights: cheap-to-recompute entries go first."""
+
+    def test_weighted_entry_roundtrips(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(key(1), {"x": 1}, weight=4.0)
+        assert store.get(key(1)) == {"x": 1}
+        # The weight is encoded in the entry's file name (no unpickling
+        # needed at sweep time).
+        assert list(tmp_path.glob("??/*~w4*.pkl"))
+
+    def test_reput_under_new_weight_replaces_the_variant(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(key(1), "old", weight=4.0)
+        store.put(key(1), "new")  # default weight 1.0
+        assert store.get(key(1)) == "new"
+        assert store.stats()["entries"] == 1
+        assert not list(tmp_path.glob("??/*~w*.pkl"))
+
+    def test_lighter_tiers_evict_before_heavier_even_when_newer(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=4 * 1024 + 512)
+        store.put(key(0), b"x" * 1024, weight=4.0)  # heavy, oldest
+        time.sleep(0.01)
+        for i in range(1, 5):
+            store.put(key(i), b"x" * 1024, weight=0.25)
+            time.sleep(0.01)
+        # Over cap: the light tier is drained (oldest light first); the
+        # heavy entry survives despite being the least recently used.
+        assert store.get(key(0)) is not MISS
+        assert store.get(key(1)) is MISS
+
+    def test_lru_still_applies_within_a_weight_tier(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=3 * 1024 + 512)
+        for i in range(3):
+            store.put(key(i), b"x" * 1024, weight=2.0)
+            time.sleep(0.01)
+        assert store.get(key(0)) is not MISS  # refresh: 0 most recent
+        time.sleep(0.01)
+        store.put(key(3), b"x" * 1024, weight=2.0)  # over cap
+        assert store.get(key(0)) is not MISS
+        assert store.get(key(1)) is MISS
+
+    def test_engine_writes_per_measure_weights(self, tmp_path):
+        # metrics (0.25) and trips (4.0) results land in the store under
+        # their measures' eviction classes.
+        stream = time_uniform_stream(10, 5, 4000.0, seed=3)
+        engine = SweepEngine(
+            cache=SweepCache.build(memory=False, disk_dir=tmp_path)
+        )
+        occupancy_method(
+            stream,
+            deltas=[100.0, 1000.0],
+            measures=("metrics", "trips:max_samples=16"),
+            engine=engine,
+        )
+        weighted = [p.name for p in tmp_path.glob("??/*~w*.pkl")]
+        assert any("~w0.25" in name for name in weighted)  # metrics
+        assert any("~w4" in name for name in weighted)  # trips

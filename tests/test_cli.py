@@ -280,3 +280,78 @@ class TestDatasets:
         assert code == 0
         for name in ("irvine", "facebook", "enron", "manufacturing"):
             assert name in out
+
+
+class TestCachePrewarm:
+    def test_prewarm_then_analyze_is_fully_warm(self, events_file, tmp_path, capsys):
+        from repro.temporal.reachability import SCAN_COUNTS
+
+        cache_dir = tmp_path / "cache"
+        code = main(
+            [
+                "cache", "prewarm", str(events_file),
+                "--cache-dir", str(cache_dir),
+                "--num-deltas", "6",
+                "--measures", "occupancy,classical",
+                "--undirected",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "prewarmed 6 window lengths x 2 measures" in out
+        assert cache_dir.is_dir()
+        # The replayed sweep spec serves the matching analyze without a
+        # single backward scan.
+        before = SCAN_COUNTS["series"]
+        code = main(
+            [
+                "analyze", str(events_file),
+                "--num-deltas", "6",
+                "--measures", "occupancy,classical",
+                "--cache-dir", str(cache_dir),
+                "--undirected",
+            ]
+        )
+        assert code == 0
+        assert "<-- gamma" in capsys.readouterr().out
+        assert SCAN_COUNTS["series"] - before == 0
+
+    def test_prewarm_requires_events(self, tmp_path, capsys):
+        code = main(["cache", "prewarm", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "event file" in capsys.readouterr().err
+
+    def test_stats_rejects_events(self, events_file, tmp_path, capsys):
+        code = main(
+            ["cache", "stats", str(events_file), "--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "takes no event file" in capsys.readouterr().err
+
+    def test_prewarm_parameterized_measures(self, events_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            [
+                "cache", "prewarm", str(events_file),
+                "--cache-dir", str(cache_dir),
+                "--num-deltas", "5",
+                "--measures", "trips:max_samples=8,components",
+                "--undirected",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trips, components" in out
+
+    def test_prewarm_unknown_measure_fails_cleanly(
+        self, events_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "cache", "prewarm", str(events_file),
+                "--cache-dir", str(tmp_path),
+                "--measures", "bogus",
+            ]
+        )
+        assert code == 2
+        assert "unknown measure" in capsys.readouterr().err
