@@ -1,0 +1,142 @@
+"""Ablation — analysis-service throughput and latency.
+
+Drives a real ``repro serve`` daemon (ephemeral port, in-process) over
+HTTP through :class:`~repro.service.ServiceClient` and measures three
+request regimes:
+
+* cold — distinct analyses, every one computed from scratch;
+* warm — the same analyses repeated, served entirely from the engine
+  cache (zero scans on the daemon side);
+* coalesced — N identical concurrent requests for an uncached analysis,
+  all attached to one in-flight computation.
+
+Reported per regime: requests/second, p50/p99 latency, wall-clock.
+Whatever the timings, two invariants must hold: a warm request is
+faster than a cold one at the median, and the N-request coalesced burst
+finishes in far less than N times a single cold request.  The run also
+smoke-tests the daemon lifecycle end to end: start, upload, submit,
+poll, fetch, shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from _harness import emit
+
+from repro.generators import time_uniform_stream
+from repro.linkstream import write_tsv
+from repro.reporting import render_table
+from repro.service import AnalysisService, ServiceClient
+from repro.service.daemon import ServiceServer
+
+N_COLD = 10
+N_COALESCED = 8
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    index = round(q / 100 * (len(ordered) - 1))
+    return ordered[index]
+
+
+def _run_requests(client, fingerprint, grids, *, concurrent=False):
+    """One analyze (submit + long-poll fetch) per grid size; returns the
+    per-request latencies and the overall wall-clock."""
+    latencies = [0.0] * len(grids)
+
+    def one(index: int, num_deltas: int) -> None:
+        start = perf_counter()
+        job = client.analyze(fingerprint, num_deltas=num_deltas)
+        client.fetch(job["job_id"], wait=300)
+        latencies[index] = perf_counter() - start
+
+    wall_start = perf_counter()
+    if concurrent:
+        threads = [
+            threading.Thread(target=one, args=(i, g)) for i, g in enumerate(grids)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        for index, grid in enumerate(grids):
+            one(index, grid)
+    return latencies, perf_counter() - wall_start
+
+
+def test_service_throughput(benchmark, capsys, tmp_path):
+    cold_file = tmp_path / "cold.tsv"
+    burst_file = tmp_path / "burst.tsv"
+    write_tsv(time_uniform_stream(24, 8, 12000.0, seed=7), cold_file)
+    # The burst targets its own stream so nothing from the cold phase is
+    # cached: the coalesced requests genuinely need a fresh computation.
+    write_tsv(time_uniform_stream(24, 8, 12000.0, seed=8), burst_file)
+
+    service = AnalysisService(jobs=2, runners=4, max_pending=64)
+    server = ServiceServer(("127.0.0.1", 0), service)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.server_address[1]}", timeout=300
+    )
+
+    def scenario():
+        fingerprint = client.upload_stream(str(cold_file))
+        grids = [8 + i for i in range(N_COLD)]
+        cold, cold_wall = _run_requests(client, fingerprint, grids)
+        warm, warm_wall = _run_requests(client, fingerprint, grids)
+        burst_fp = client.upload_stream(str(burst_file))
+        burst, burst_wall = _run_requests(
+            client, burst_fp, [12] * N_COALESCED, concurrent=True
+        )
+        stats = client.health()["queue"]
+        return cold, cold_wall, warm, warm_wall, burst, burst_wall, stats
+
+    try:
+        cold, cold_wall, warm, warm_wall, burst, burst_wall, stats = (
+            benchmark.pedantic(scenario, rounds=1, iterations=1)
+        )
+        shutdown = client.shutdown()
+        server_thread.join(timeout=30)
+    finally:
+        server.server_close()
+        service.close()
+
+    rows = [
+        [
+            label,
+            len(latencies),
+            len(latencies) / wall,
+            _percentile(latencies, 50) * 1e3,
+            _percentile(latencies, 99) * 1e3,
+            wall,
+        ]
+        for label, latencies, wall in (
+            ("cold (distinct grids)", cold, cold_wall),
+            ("warm (cache hits)", warm, warm_wall),
+            (f"coalesced ({N_COALESCED} identical, concurrent)", burst, burst_wall),
+        )
+    ]
+    table = render_table(
+        ["regime", "requests", "req_per_s", "p50_ms", "p99_ms", "wall_s"],
+        rows,
+        title=(
+            f"Ablation — service throughput (runners=4, "
+            f"coalesced={stats['coalesced']}, submitted={stats['submitted']})"
+        ),
+    )
+    emit(capsys, "ablation_service_throughput", table)
+
+    # Lifecycle smoke: the daemon answered every request and shut down
+    # cleanly on demand.
+    assert shutdown["status"] == "shutting down"
+    assert not server_thread.is_alive()
+    assert stats["failed"] == 0 and stats["cancelled"] == 0
+    # A warm request never recomputes: it must beat cold at the median.
+    assert _percentile(warm, 50) < _percentile(cold, 50)
+    # Coalescing: N identical concurrent requests cost one computation,
+    # not N — far under N times a single cold request.
+    assert burst_wall < N_COALESCED * _percentile(cold, 50)

@@ -70,6 +70,21 @@ def main() -> None:
     # See "Writing a measure" in help(repro) for the full contract.
     # (`repro cache prewarm events.tsv --measures ...` replays a sweep
     # into the disk store so later analyses start warm.)
+    #
+    # For many analyses, skip per-process startup entirely: `repro
+    # serve` runs a long-lived daemon owning the warm caches and a
+    # shared worker pool, and
+    #
+    #     repro submit events.tsv --wait
+    #
+    # uploads the stream (idempotent, by content fingerprint), queues
+    # the analysis, and prints the exact text `repro analyze` would —
+    # identical concurrent requests coalesce into one computation, warm
+    # repeats recompute nothing, and an overfull daemon says 429 rather
+    # than melting down. `repro measures list` prints every registered
+    # measure (plus any installed via the "repro.measures" entry-point
+    # group) with its parameter schema. See "Serving analyses" in
+    # help(repro).
     result = occupancy_method(stream, num_deltas=24)
     print(result.describe())
     print()

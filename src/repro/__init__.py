@@ -29,7 +29,11 @@ Packages
 ``repro.reporting``
     Plain-text tables and ASCII charts used by the bench harness.
 ``repro.engine``
-    Sweep-execution engine: task planning, pluggable backends, caching.
+    Sweep-execution engine: task planning, pluggable backends, caching,
+    cancellation, and the bounded job queue.
+``repro.service``
+    Long-lived analysis daemon (``repro serve``), HTTP/JSON API, and
+    the matching client.
 
 One scan, many measures
 -----------------------
@@ -167,6 +171,41 @@ task restricts to the shard's destinations and merges integer-exactly
 their shard spec in the cache key, and merged per-measure results are
 stored under the ordinary measure keys, so sharded and unsharded runs
 warm each other.
+
+Serving analyses
+----------------
+Every one-shot ``repro analyze`` pays process startup and cold caches.
+``repro serve`` keeps them warm instead: a long-lived daemon
+(:mod:`repro.service`, stdlib HTTP — no dependencies) owns one
+:class:`~repro.engine.SweepEngine` (async backend, shared worker pool,
+memory+disk sweep cache, process-wide series memo) and serves analyze
+and sweep requests over a small JSON API.  Streams register once by
+content fingerprint (``POST /v1/streams`` — idempotent), jobs are
+asynchronous (``POST /v1/analyze`` returns a job id immediately;
+``GET /v1/jobs/<id>/result?wait=`` long-polls), and the rendered report
+is bit-identical to offline ``repro analyze`` on the same events.
+
+The daemon degrades gracefully under load rather than falling over:
+a bounded backlog turns excess requests away with 429 (admission
+control, :class:`~repro.utils.errors.AdmissionError`); per-request
+deadlines ride a :class:`~repro.engine.CancelToken` into the engine and
+cancel mid-plan, naming the exact task the sweep stopped at
+(:class:`~repro.utils.errors.JobCancelled`, HTTP 504); and identical
+in-flight requests *coalesce* — N clients asking for the same
+fingerprint, Δ grid, and measures attach to one computation and share
+its result, with the shared deadline extended to the most patient
+requester.  Warm repeats perform zero scans.
+
+Client side: ``repro submit events.tsv --url http://host:8765 --wait``
+uploads, analyzes, and prints the same text the offline CLI would;
+``repro status`` / ``repro fetch JOB`` poll and retrieve; programmatic
+access goes through :class:`~repro.service.ServiceClient`, which maps
+API errors back onto this library's exception hierarchy.  ``repro
+measures list`` (or ``repro analyze --measures-list``) prints every
+registered measure with its parameter schema, types, and defaults —
+including measures installed by third-party packages through the
+``repro.measures`` entry-point group, discovered automatically at
+registry first use.
 """
 
 from repro.core import (
@@ -182,7 +221,7 @@ from repro.engine import SweepCache, SweepEngine
 from repro.graphseries import GraphSeries, Snapshot, aggregate
 from repro.linkstream import IntervalStream, LinkStream
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "LinkStream",

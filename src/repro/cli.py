@@ -14,9 +14,20 @@ Commands
 ``generate``  produce a synthetic stream (time-uniform, two-mode, or a
               dataset replica) as a TSV event file.
 ``datasets``  list the built-in dataset replicas and their statistics.
+``measures``  introspect the measure registry (``list`` prints every
+              registered measure with its parameter schema, types, and
+              defaults — entry-point plugins included).
 ``cache``     manage the persistent sweep-result store (``stats`` /
               ``clear`` / ``prewarm``, the last replaying a sweep spec
               into the store so later analyses start warm).
+``serve``     run the long-lived analysis daemon (HTTP+JSON): streams
+              and sweep caches stay warm across requests, identical
+              in-flight requests coalesce, the backlog is bounded.
+``submit``    upload an event file to a running daemon and queue an
+              analyze job (``--wait`` blocks for the result).
+``status``    poll a submitted job.
+``fetch``     print a finished job's result — for analyze jobs, the
+              text is bit-identical to offline ``repro analyze``.
 
 All files are TSV with columns ``u v t`` unless ``--columns`` says
 otherwise.
@@ -25,6 +36,7 @@ otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections.abc import Sequence
@@ -34,6 +46,8 @@ from repro.datasets import available_datasets, dataset_spec, load
 from repro.engine import (
     CACHE_DIR_ENV_VAR,
     CACHE_MAX_BYTES_ENV_VAR,
+    ENTRY_POINT_FAILURES,
+    ENTRY_POINT_GROUP,
     DiskStore,
     ENGINE_ENV_VAR,
     SHARDS_ENV_VAR,
@@ -43,6 +57,7 @@ from repro.engine import (
     available_backends,
     available_measures,
     cache_max_bytes_from_env,
+    describe_measures,
     parse_measures_arg,
     plan_measure_sweep,
 )
@@ -50,6 +65,8 @@ from repro.generators import time_uniform_stream, two_mode_stream_by_rho
 from repro.graphseries import aggregate as aggregate_stream
 from repro.linkstream import read_csv, read_tsv, write_tsv
 from repro.linkstream.stream import LinkStream
+from repro.reporting import render_analysis
+from repro.service import ServiceClient, serve
 from repro.utils.errors import ReproError
 from repro.utils.timeunits import format_duration, parse_duration
 
@@ -78,7 +95,53 @@ def _build_engine(args: argparse.Namespace) -> SweepEngine:
     )
 
 
+def _render_measures_list() -> str:
+    """What ``repro measures list`` / ``analyze --measures-list`` print:
+    every registered measure with its parameter schema and defaults."""
+    records = describe_measures()
+    lines = [f"registered measures ({len(records)}):", ""]
+    for record in records:
+        feeds = []
+        if record["scans"]:
+            feeds.append("scan")
+        if record["has_payload"]:
+            feeds.append("series")
+        suffix = f"  [{'+'.join(feeds)}]" if feeds else ""
+        lines.append(f"  {record['name']:<14} {record['summary']}{suffix}")
+        if record["params"]:
+            for param in record["params"]:
+                lines.append(
+                    f"{'':17}{param['name']}: {param['type']} "
+                    f"= {param['default']!r}"
+                )
+        else:
+            lines.append(f"{'':17}(no parameters)")
+    lines.append("")
+    lines.append(
+        "each measure is spelled name[:key=value,...] in --measures; "
+        "installed packages can add more via the "
+        f"{ENTRY_POINT_GROUP!r} entry-point group"
+    )
+    if ENTRY_POINT_FAILURES:
+        lines.append("")
+        lines.append("broken entry points (skipped):")
+        for name, message in ENTRY_POINT_FAILURES:
+            lines.append(f"  {name}: {message}")
+    return "\n".join(lines)
+
+
+def _cmd_measures(args: argparse.Namespace) -> int:
+    # Only one action today ("list"); argparse enforces the choice.
+    print(_render_measures_list())
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.measures_list:
+        print(_render_measures_list())
+        return 0
+    if args.events is None:
+        raise ReproError("analyze needs an event file (or --measures-list)")
     stream = _read_stream(args.events, args.columns, not args.undirected, args.format)
     measures = parse_measures_arg(args.measures)
     with _build_engine(args) as engine:
@@ -91,49 +154,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             refine_rounds=args.refine,
             engine=engine,
         )
-    print(report.to_text())
-    print()
-    # Extra measure columns ride the same per-Δ scan as the occupancy
-    # evidence; shown inline so the curves can be read side by side.
-    extra_sweep = report.classical if report.classical is not None else report.metrics
-    header = "delta        mk_proximity  trips"
-    if extra_sweep is not None:
-        header += "    density"
-    if report.classical is not None:
-        header += "   d_time  d_hops"
-    print(header)
-    result = report.saturation
-    for i, point in enumerate(result.points):
-        marker = "  <-- gamma" if point.delta == result.gamma else ""
-        row = (
-            f"{format_duration(point.delta):>9}  {point.mk_proximity:>12.4f}  "
-            f"{point.num_trips:>7}"
-        )
-        if extra_sweep is not None:
-            row += f"  {extra_sweep.points[i].snapshot.mean_density:>9.4f}"
-        if report.classical is not None:
-            classical_point = report.classical.points[i]
-            row += (
-                f"  {classical_point.mean_distance_in_time:>7.3f}"
-                f"  {classical_point.mean_distance_in_hops:>6.3f}"
-            )
-        print(row + marker)
-    # Companion measures without a dedicated column (trip samples,
-    # component histograms, plugins...): one summary line each, read at
-    # the gamma point — computed from the very scan that elected it.
-    extra_names = [
-        name for name in report.companions if name not in ("classical", "metrics")
-    ]
-    if extra_names:
-        gamma_index = next(
-            i for i, p in enumerate(result.points) if p.delta == result.gamma
-        )
-        print()
-        for name in extra_names:
-            value = report.companions[name][gamma_index]
-            describe = getattr(value, "describe", None)
-            summary = describe() if callable(describe) else repr(value)
-            print(f"{name} at gamma: {summary}")
+    # One renderer, shared with the analysis service — that sharing is
+    # what keeps served responses bit-identical to this output.
+    print(render_analysis(report))
     return 0
 
 
@@ -265,6 +288,71 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    print(
+        f"repro analysis daemon listening on http://{args.host}:{args.port} "
+        f"(backend {args.backend}, {args.runners} runners, "
+        f"backlog limit {args.max_pending})",
+        file=sys.stderr,
+    )
+    serve(
+        args.host,
+        args.port,
+        backend=args.backend,
+        jobs=args.jobs,
+        runners=args.runners,
+        max_pending=args.max_pending,
+        default_timeout=args.timeout,
+        cache_dir=args.cache_dir or os.environ.get(CACHE_DIR_ENV_VAR) or None,
+        verbose=args.verbose,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    fingerprint = client.upload_stream(
+        args.events,
+        columns=args.columns,
+        fmt=args.format,
+        directed=not args.undirected,
+    )
+    job = client.analyze(
+        fingerprint,
+        measures=args.measures,
+        num_deltas=args.num_deltas,
+        method=args.method,
+        refine=args.refine,
+        validate=args.validate,
+        timeout=args.timeout,
+    )
+    if args.wait is not None:
+        print(client.fetch(job["job_id"], wait=args.wait)["text"])
+        return 0
+    coalesced = " (coalesced onto an in-flight request)" if job["coalesced"] else ""
+    print(f"job {job['job_id']}: {job['state']}{coalesced}")
+    print(f"stream {fingerprint}")
+    print(f"fetch with: repro fetch {job['job_id']} --url {args.url}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    payload = client.status(args.job) if args.job else {"jobs": client.jobs()}
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    result = ServiceClient(args.url).fetch(args.job, wait=args.wait)
+    if result.get("kind") == "analyze":
+        # The same bytes `repro analyze` would print for this stream.
+        print(result["text"])
+    else:
+        print(json.dumps(result, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,14 +360,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_io_options(p: argparse.ArgumentParser) -> None:
-        p.add_argument("events", help="event file (one interaction per line)")
+    def add_io_options(
+        p: argparse.ArgumentParser, *, optional_events: bool = False
+    ) -> None:
+        if optional_events:
+            p.add_argument(
+                "events",
+                nargs="?",
+                default=None,
+                help="event file (one interaction per line)",
+            )
+        else:
+            p.add_argument("events", help="event file (one interaction per line)")
         p.add_argument("--columns", default="u v t", help="column order (default: 'u v t')")
         p.add_argument("--format", choices=("tsv", "csv"), default="tsv")
         p.add_argument("--undirected", action="store_true", help="treat links as undirected")
 
     analyze = sub.add_parser("analyze", help="detect the saturation scale")
-    add_io_options(analyze)
+    add_io_options(analyze, optional_events=True)
+    analyze.add_argument(
+        "--measures-list",
+        action="store_true",
+        dest="measures_list",
+        help="print every registered measure with its parameter schema, "
+        "types, and defaults, then exit (no event file needed)",
+    )
     analyze.add_argument("--num-deltas", type=int, default=40, help="sweep grid size")
     analyze.add_argument("--method", default="mk", help="selection statistic (mk/std/cre/shannonK)")
     analyze.add_argument("--refine", type=int, default=0, help="refinement rounds")
@@ -353,6 +458,127 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = sub.add_parser("datasets", help="list built-in dataset replicas")
     datasets.set_defaults(func=_cmd_datasets)
+
+    measures = sub.add_parser(
+        "measures",
+        help="introspect the measure registry",
+        description="Introspect the measure plugin registry. 'list' "
+        "prints every registered measure (built-in and entry-point "
+        "plugins alike) with its declarative parameter schema: field "
+        "names, types, and defaults — the same schema that validates "
+        "--measures name:key=value parameters.",
+    )
+    measures.add_argument("action", choices=("list",))
+    measures.set_defaults(func=_cmd_measures)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis daemon",
+        description="Serve analyses over HTTP+JSON from one warm "
+        "process: registered streams, the aggregation memo, and the "
+        "sweep-result cache persist across requests, so repeat "
+        "analyses are pure cache hits. Identical in-flight requests "
+        "coalesce onto one computation; the job backlog is bounded "
+        "(full queue: HTTP 429) and each request can carry a deadline "
+        "that cancels its pending work.",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765)
+    serve_cmd.add_argument(
+        "--backend",
+        default="async",
+        choices=available_backends(),
+        help="sweep execution backend shared by every request "
+        "(default: async — a shared thread pool accepting plans "
+        "non-blockingly)",
+    )
+    serve_cmd.add_argument(
+        "--jobs", type=int, default=None, help="backend worker count"
+    )
+    serve_cmd.add_argument(
+        "--runners",
+        type=int,
+        default=4,
+        help="concurrent jobs (each runner drives one job's sweeps "
+        "through the shared backend pool; default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        help="admission limit: queued jobs beyond this are rejected "
+        "with HTTP 429 (default: 32)",
+    )
+    serve_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (requests may "
+        "override; default: none)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"persistent sweep cache directory (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    def add_client_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url",
+            default="http://127.0.0.1:8765",
+            help="daemon address (default: http://127.0.0.1:8765)",
+        )
+
+    submit = sub.add_parser(
+        "submit",
+        help="upload an event file to a running daemon and queue an analyze job",
+    )
+    add_io_options(submit)
+    add_client_options(submit)
+    submit.add_argument("--num-deltas", type=int, default=40, help="sweep grid size")
+    submit.add_argument("--method", default="mk", help="selection statistic (mk/std/cre/shannonK)")
+    submit.add_argument("--refine", type=int, default=0, help="refinement rounds")
+    submit.add_argument("--validate", action="store_true", help="also run Section 8 loss measures")
+    submit.add_argument(
+        "--measures",
+        default="occupancy",
+        help="measure set, same syntax as analyze --measures (default: occupancy)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (past it the daemon "
+        "cancels the job's pending work)",
+    )
+    submit.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        help="block up to this many seconds and print the result "
+        "(bit-identical to offline 'repro analyze')",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="poll a submitted job")
+    status.add_argument("job", nargs="?", default=None, help="job id (default: list every job)")
+    add_client_options(status)
+    status.set_defaults(func=_cmd_status)
+
+    fetch = sub.add_parser("fetch", help="print a finished job's result")
+    fetch.add_argument("job", help="job id")
+    add_client_options(fetch)
+    fetch.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        help="long-poll up to this many seconds for the job to finish",
+    )
+    fetch.set_defaults(func=_cmd_fetch)
 
     cache = sub.add_parser(
         "cache",

@@ -21,11 +21,22 @@ content-addressed :class:`~repro.engine.cache.SweepCache`:
   destination-partition shards that merge back bit-identically) — all
   generic over the registry;
 * :mod:`repro.engine.backends` — serial (default), thread-pool, and
-  chunked process-pool execution, all bit-identical;
+  chunked process-pool execution, all bit-identical, plus the ``async``
+  backend whose :meth:`~repro.engine.backends.AsyncBackend.submit_plan`
+  queues a plan non-blockingly and returns a
+  :class:`~repro.engine.backends.PlanHandle`;
+* :mod:`repro.engine.cancel` — cooperative cancellation:
+  :class:`CancelToken` (explicit cancel or deadline) checked at every
+  task boundary, carried by ``cancel_scope`` so nested sweeps inherit
+  request deadlines;
+* :mod:`repro.engine.jobs` — :class:`JobQueue`, bounded asynchronous
+  job execution with admission control, per-job deadlines, and request
+  coalescing (the analysis service's core);
 * :mod:`repro.engine.cache` — layered memory/disk result store keyed on
   the stream fingerprint plus the task parameters;
 * :mod:`repro.engine.scheduler` — :class:`SweepEngine`, the cache-aware
-  dispatcher, plus the ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` defaults;
+  dispatcher (blocking ``run`` and future-shaped ``submit``), plus the
+  ``REPRO_ENGINE`` / ``REPRO_CACHE_DIR`` defaults;
 * :mod:`repro.engine.progress` — listener hooks for long sweeps.
 
 Typical use::
@@ -38,13 +49,17 @@ Typical use::
 """
 
 from repro.engine.backends import (
+    AsyncBackend,
     ExecutionBackend,
+    PlanHandle,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     available_backends,
     get_backend,
 )
+from repro.engine.cancel import CancelToken, cancel_scope, current_cancel_token
+from repro.engine.jobs import Job, JobQueue
 from repro.engine.cache import (
     MISS,
     CacheStore,
@@ -59,6 +74,7 @@ from repro.engine.scheduler import (
     CACHE_MAX_BYTES_ENV_VAR,
     ENGINE_ENV_VAR,
     SHARDS_ENV_VAR,
+    EngineFuture,
     SweepEngine,
     cache_max_bytes_from_env,
     default_engine,
@@ -69,6 +85,8 @@ from repro.engine.scheduler import (
     set_default_engine,
 )
 from repro.engine.measures import (
+    ENTRY_POINT_FAILURES,
+    ENTRY_POINT_GROUP,
     MEASURE_REGISTRY,
     ClassicalMeasure,
     ComponentsMeasure,
@@ -83,6 +101,8 @@ from repro.engine.measures import (
     TripsMeasure,
     available_measures,
     build_measure,
+    describe_measures,
+    load_entry_point_measures,
     measure_schema,
     normalize_measures,
     parse_measure_spec,
@@ -123,6 +143,10 @@ __all__ = [
     "register_measure",
     "unregister_measure",
     "available_measures",
+    "describe_measures",
+    "load_entry_point_measures",
+    "ENTRY_POINT_GROUP",
+    "ENTRY_POINT_FAILURES",
     "measure_schema",
     "build_measure",
     "parse_measure_spec",
@@ -138,8 +162,16 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "AsyncBackend",
+    "PlanHandle",
     "get_backend",
     "available_backends",
+    "CancelToken",
+    "cancel_scope",
+    "current_cancel_token",
+    "Job",
+    "JobQueue",
+    "EngineFuture",
     "SweepCache",
     "CacheStore",
     "MemoryStore",

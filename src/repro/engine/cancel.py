@@ -1,0 +1,144 @@
+"""Cooperative cancellation of sweep plans and jobs.
+
+A :class:`CancelToken` is the engine's cancellation plumbing: one token
+per request, checked at every task boundary.  It folds two triggers into
+one object —
+
+* **explicit cancellation** (``token.cancel("client went away")``), and
+* a **deadline** (``CancelToken.with_timeout(2.5)``): past it, the token
+  reads as cancelled without any timer thread;
+
+and it rides the engine's existing fail-fast path: when a backend's
+worker finds its token cancelled it raises :class:`JobCancelled` *naming
+the task it stopped at* (kind plus Δ), which makes the backend cancel
+every pending task of the plan exactly like any other task failure.
+
+Tokens travel two ways.  Explicitly — ``engine.run(stream, tasks,
+cancel=token)`` — or through a **cancel scope**: ``with
+cancel_scope(token): analyze_stream(...)`` binds the token to the
+calling thread so every engine run inside the scope (the occupancy
+sweep, refinement rounds, companion sweeps) inherits it without any
+signature changes in between.  The job queue runs every job inside a
+scope carrying the job's deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.utils.errors import JobCancelled
+
+
+class CancelToken:
+    """Cancellation state shared by one request and its workers.
+
+    Thread-safe; checked (never blocked on) at task boundaries.  The
+    deadline is a :func:`time.monotonic` instant; ``None`` means no
+    deadline.  Coalesced requests attaching to an in-flight computation
+    relax the deadline through :meth:`extend_deadline`, so the shared
+    computation lives as long as its most patient requester.
+    """
+
+    def __init__(self, *, deadline: float | None = None) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._reason: str | None = None
+        self._deadline = deadline
+
+    @classmethod
+    def with_timeout(cls, timeout: float | None) -> "CancelToken":
+        """A token expiring ``timeout`` seconds from now (``None``: never)."""
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        return cls(deadline=deadline)
+
+    @property
+    def deadline(self) -> float | None:
+        with self._lock:
+            return self._deadline
+
+    def extend_deadline(self, deadline: float | None) -> None:
+        """Relax the deadline: ``None`` removes it, a later instant
+        replaces an earlier one (never tightens)."""
+        with self._lock:
+            if self._deadline is None:
+                return
+            if deadline is None:
+                self._deadline = None
+            else:
+                self._deadline = max(self._deadline, float(deadline))
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Mark the token cancelled (the first reason wins)."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+        self._event.set()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        deadline = self.deadline
+        return deadline is not None and time.monotonic() >= deadline
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether work under this token should stop."""
+        return self._event.is_set() or self.expired
+
+    @property
+    def reason(self) -> str | None:
+        """Why the token is cancelled (``None`` while it is live)."""
+        with self._lock:
+            if self._reason is not None:
+                return self._reason
+        return "deadline exceeded" if self.expired else None
+
+    def guard(self, task=None) -> None:
+        """Raise :class:`JobCancelled` if the token is cancelled.
+
+        ``task`` (a :class:`~repro.engine.tasks.DeltaTask`) names where
+        the plan stopped — the error message carries the task kind and
+        Δ, so a deadline report reads ``deadline exceeded before
+        analysis task at delta=86400``.
+        """
+        if not self.cancelled:
+            return
+        where = (
+            f" before {task.kind} task at delta={task.delta:g}"
+            if task is not None
+            else ""
+        )
+        raise JobCancelled(f"{self.reason}{where}")
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self.reason!r}" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+_scope = threading.local()
+
+
+def current_cancel_token() -> CancelToken | None:
+    """The token bound to the calling thread (``None`` outside a scope)."""
+    return getattr(_scope, "token", None)
+
+
+@contextmanager
+def cancel_scope(token: CancelToken | None) -> Iterator[CancelToken | None]:
+    """Bind ``token`` to the calling thread for the duration of a block.
+
+    Engine runs inside the block pick the token up automatically (see
+    :meth:`SweepEngine.run`), so a deadline set at the request boundary
+    reaches every sweep a high-level call performs — ``analyze_stream``'s
+    refinement rounds included — without threading ``cancel=`` through
+    each intermediate signature.  Scopes nest; the inner token wins.
+    """
+    previous = current_cancel_token()
+    _scope.token = token
+    try:
+        yield token
+    finally:
+        _scope.token = previous

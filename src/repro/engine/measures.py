@@ -81,6 +81,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -267,8 +268,87 @@ def unregister_measure(name: str) -> None:
     MEASURE_REGISTRY.pop(name, None)
 
 
+# ---------------------------------------------------------------------------
+# Entry-point discovery: installed packages register without being imported.
+# ---------------------------------------------------------------------------
+
+#: The ``importlib.metadata`` entry-point group scanned for third-party
+#: measures.  A distribution declares, e.g. in ``pyproject.toml``::
+#:
+#:     [project.entry-points."repro.measures"]
+#:     hop_count = "mypkg.measures:HopCount"
+#:
+#: The target may be a :class:`MeasureSpec` subclass (registered
+#: directly) or a zero-argument callable (invoked as a registration
+#: hook, for packages registering several measures at once).
+ENTRY_POINT_GROUP = "repro.measures"
+
+#: ``(entry point name, error message)`` for every entry point that
+#: failed to load on the last scan.  Broken plugins never break the
+#: registry — they are recorded here, warned about once, and skipped.
+ENTRY_POINT_FAILURES: list[tuple[str, str]] = []
+
+_entry_points_loaded = False
+
+
+def _entry_points():
+    """The raw entry points of :data:`ENTRY_POINT_GROUP` (separated out
+    so tests can monkeypatch the environment's installed packages)."""
+    from importlib import metadata
+
+    return list(metadata.entry_points(group=ENTRY_POINT_GROUP))
+
+
+def load_entry_point_measures(*, reload: bool = False) -> list[str]:
+    """Scan the :data:`ENTRY_POINT_GROUP` entry points once per process.
+
+    Runs automatically at registry first use (:func:`available_measures`,
+    :func:`measure_schema`, :func:`build_measure`), so merely *installing*
+    a measure package makes its names resolvable — no import side effects
+    required in user code.  Returns the entry-point names that loaded;
+    failures land in :data:`ENTRY_POINT_FAILURES` with a warning instead
+    of crashing the registry (one broken plugin must not take down every
+    analysis).
+    """
+    global _entry_points_loaded
+    if _entry_points_loaded and not reload:
+        return []
+    _entry_points_loaded = True
+    ENTRY_POINT_FAILURES.clear()
+    loaded: list[str] = []
+    try:
+        points = _entry_points()
+    except Exception as exc:  # metadata itself unusable: degrade quietly
+        ENTRY_POINT_FAILURES.append(("<scan>", str(exc)))
+        return loaded
+    for point in points:
+        try:
+            target = point.load()
+            if isinstance(target, type) and issubclass(target, MeasureSpec):
+                register_measure(target)
+            elif callable(target):
+                target()
+            else:
+                raise EngineError(
+                    f"entry point target {target!r} is neither a "
+                    "MeasureSpec subclass nor a callable registration hook"
+                )
+        except Exception as exc:
+            ENTRY_POINT_FAILURES.append((point.name, str(exc)))
+            warnings.warn(
+                f"broken measure entry point {point.name!r} "
+                f"({ENTRY_POINT_GROUP}): {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            loaded.append(point.name)
+    return loaded
+
+
 def available_measures() -> list[str]:
     """Measure names accepted by name (CLI ``--measures`` and friends)."""
+    load_entry_point_measures()
     return sorted(MEASURE_REGISTRY)
 
 
@@ -280,6 +360,7 @@ def measure_schema(measure: "str | type[MeasureSpec]") -> dict[str, type]:
     and what its error messages print.
     """
     if isinstance(measure, str):
+        load_entry_point_measures()
         if measure not in MEASURE_REGISTRY:
             raise EngineError(
                 f"unknown measure {measure!r}; available: {available_measures()}"
@@ -289,6 +370,41 @@ def measure_schema(measure: "str | type[MeasureSpec]") -> dict[str, type]:
     return {
         f.name: hints.get(f.name, str) for f in dataclasses.fields(measure)
     }
+
+
+def describe_measures() -> list[dict]:
+    """Introspection records for every registered measure, sorted by
+    name — what ``repro measures list`` prints.
+
+    Each record carries the measure's name, class, one-line summary
+    (the class docstring's first line), feeding mode flags, and its
+    declarative parameter schema as ``{"name", "type", "default"}``
+    dicts in field order.
+    """
+    records = []
+    for name in available_measures():
+        cls = MEASURE_REGISTRY[name]
+        schema = measure_schema(cls)
+        defaults = cls().params()
+        doc = (cls.__doc__ or "").strip().splitlines()
+        records.append(
+            {
+                "name": name,
+                "class": f"{cls.__module__}.{cls.__qualname__}",
+                "summary": doc[0] if doc else "",
+                "scans": bool(cls.scans),
+                "has_payload": bool(cls.has_payload),
+                "params": [
+                    {
+                        "name": key,
+                        "type": getattr(kind, "__name__", str(kind)),
+                        "default": defaults[key],
+                    }
+                    for key, kind in schema.items()
+                ],
+            }
+        )
+    return records
 
 
 def _describe_schema(name: str, schema: dict[str, type]) -> str:
@@ -345,6 +461,7 @@ def build_measure(name: str, params: "dict[str, str] | None" = None) -> MeasureS
     parameters raise :class:`~repro.utils.errors.EngineError` with the
     available alternatives spelled out.
     """
+    load_entry_point_measures()
     if name not in MEASURE_REGISTRY:
         raise EngineError(
             f"unknown measure {name!r}; available: {available_measures()}"

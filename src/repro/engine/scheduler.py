@@ -17,6 +17,14 @@ A warm occupancy cache plus a cold classical request therefore re-scans
 each Δ exactly once — computing only the classical measure — and a fully
 warm measure set is served without touching the backend at all.
 
+``submit(stream, tasks)`` is the same pipeline split at the execution
+seam: probing and narrowing happen synchronously (they are cheap), the
+missing units are queued on an async-capable backend, and the returned
+:class:`EngineFuture` resolves from pool callbacks — no thread blocked
+per plan.  Both paths honour a :class:`~repro.engine.cancel.CancelToken`
+(passed explicitly or inherited from the calling thread's
+``cancel_scope``), cancelling pending work via the fail-fast path.
+
 The process-wide **default engine** is what sweeps use when no engine is
 passed explicitly.  It is configured from the environment on first use:
 
@@ -49,10 +57,13 @@ from __future__ import annotations
 
 import math
 import os
-from collections.abc import Iterator, Sequence
+import threading
+from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
+from dataclasses import dataclass
 
 from repro.engine.backends import ExecutionBackend, get_backend
+from repro.engine.cancel import CancelToken, current_cancel_token
 from repro.engine.cache import MISS, SweepCache
 from repro.engine.progress import NULL_PROGRESS, ProgressListener
 from repro.engine.tasks import DeltaTask, plan_shard_expansion
@@ -93,6 +104,89 @@ def normalize_shards(shards: int | str | None) -> int | str:
             f"bad shard policy {shards!r}: expected 'auto' or a positive integer"
         )
     return shards
+
+
+@dataclass
+class _PlanState:
+    """Everything :meth:`SweepEngine._prepare` established about a plan:
+    the cache probe's outcome plus the execution units still missing.
+    Passing it to :meth:`SweepEngine._finish` with the backend's fresh
+    results completes the run — whichever thread the backend finishes
+    on."""
+
+    tasks: list
+    parts: list
+    keys: list
+    missing: list
+    narrowed: list
+    pending: list
+    groups: dict
+    units: list
+    unit_results: list
+    unit_keys: list
+    to_run: list
+    progress_total: int
+    tick: Callable[[int], None] | None = None
+    fingerprint: str | None = None
+
+    @property
+    def run_units(self) -> list:
+        """The subtasks the backend must actually evaluate."""
+        return [self.units[j] for j in self.to_run]
+
+
+class EngineFuture:
+    """A pending :meth:`SweepEngine.submit`: results later, no thread
+    blocked meanwhile.  Resolves on the pool thread finishing the plan's
+    last task; ``result()`` blocks, ``add_done_callback`` doesn't."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._results: list | None = None
+        self._error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[["EngineFuture"], None]] = []
+
+    def _complete(self, results: list) -> None:
+        with self._lock:
+            self._results = results
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def add_done_callback(self, callback: Callable[["EngineFuture"], None]) -> None:
+        """Run ``callback(future)`` once resolved (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def result(self, timeout: float | None = None) -> list:
+        """Block for the assembled task results (or raise the failure)."""
+        if not self._event.wait(timeout):
+            raise EngineError(f"sweep not done within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._results
+
+    def __repr__(self) -> str:
+        if not self._event.is_set():
+            return "EngineFuture(pending)"
+        state = "failed" if self._error is not None else "done"
+        return f"EngineFuture({state})"
 
 
 class SweepEngine:
@@ -150,24 +244,16 @@ class SweepEngine:
             count = policy
         return max(1, min(count, stream.num_nodes))
 
-    def run(
+    def _prepare(
         self,
         stream: LinkStream,
-        tasks: Sequence[DeltaTask],
-        *,
-        shards: int | str | None = None,
-    ) -> list:
-        """Evaluate every task on ``stream``; ``results[i]`` matches
-        ``tasks[i]``.  Cached results are never recomputed: each task's
-        sub-results (one per measure for fused tasks) are probed and
-        stored individually, and tasks with partial hits are narrowed to
-        exactly their missing measures before execution.
-
-        ``shards`` overrides the engine's shard policy for this run (see
-        the class docstring); sharded or not, the returned results are
-        bit-identical.
-        """
-        tasks = list(tasks)
+        tasks: list[DeltaTask],
+        shards: int | str | None,
+    ) -> _PlanState:
+        """Probe the cache, narrow partially-cached tasks, expand shards,
+        and report the cached fraction to the progress listener.  Returns
+        the plan state whose ``run_units`` the backend must evaluate
+        (possibly none)."""
         total = len(tasks)
         num_shards = self._shard_count(total, shards, stream)
 
@@ -177,6 +263,7 @@ class SweepEngine:
         keys: list[list[str]] = [[] for _ in range(total)]
         missing: list[list[int] | None] = [None] * total
         narrowed: list[DeltaTask | None] = list(tasks)
+        fingerprint: str | None = None
         if self.cache is not None:
             fingerprint = stream.fingerprint()
             for i, task in enumerate(tasks):
@@ -191,13 +278,6 @@ class SweepEngine:
 
         pending = [i for i in range(total) if narrowed[i] is not None]
         hits = total - len(pending)
-
-        if not pending:
-            self.progress.on_start(total)
-            if total:
-                self.progress.on_advance(total, total, cached=True)
-            self.progress.on_finish(total)
-            return [tasks[i].assemble(parts[i]) for i in range(total)]
 
         # Shard expansion of the narrowed tasks.  Shard subtasks carry
         # their own shard-spec cache keys; an unsharded narrowed task is
@@ -230,41 +310,65 @@ class SweepEngine:
         if done:
             self.progress.on_advance(done, progress_total, cached=True)
 
+        state = _PlanState(
+            tasks=tasks,
+            parts=parts,
+            keys=keys,
+            missing=missing,
+            narrowed=narrowed,
+            pending=pending,
+            groups=groups,
+            units=units,
+            unit_results=unit_results,
+            unit_keys=unit_keys,
+            to_run=to_run,
+            progress_total=progress_total,
+            fingerprint=fingerprint,
+        )
         if to_run:
             counter = {"done": done}
+            lock = threading.Lock()
 
             def tick(n: int) -> None:
-                counter["done"] += n
-                self.progress.on_advance(counter["done"], progress_total)
+                with lock:
+                    counter["done"] += n
+                    done_now = counter["done"]
+                self.progress.on_advance(done_now, progress_total)
 
-            fresh = self.backend.run(
-                stream, [units[j] for j in to_run], tick=tick
-            )
-            for j, value in zip(to_run, fresh):
-                unit_results[j] = value
-                if unit_keys[j] is not None and self.cache is not None:
-                    self.cache.put(
-                        unit_keys[j], value, weight=units[j].cache_weight
-                    )
+            state.tick = tick
+        return state
 
-        for i in pending:
-            start, count, sharded = groups[i]
-            task = narrowed[i]
+    def _finish(self, state: _PlanState, fresh: Sequence) -> list:
+        """Store the backend's fresh unit results, merge shards, split
+        fused results into their per-measure cache entries, and assemble
+        every task's answer in task order."""
+        tasks, parts = state.tasks, state.parts
+        unit_results, unit_keys = state.unit_results, state.unit_keys
+        for j, value in zip(state.to_run, fresh):
+            unit_results[j] = value
+            if unit_keys[j] is not None and self.cache is not None:
+                self.cache.put(
+                    unit_keys[j], value, weight=state.units[j].cache_weight
+                )
+
+        for i in state.pending:
+            start, count, sharded = state.groups[i]
+            task = state.narrowed[i]
             if sharded:
                 raw = task.merge_shards(unit_results[start : start + count])
             else:
                 raw = unit_results[start]
             fresh_parts = task.split_result(raw)
-            if missing[i] is None:
+            if state.missing[i] is None:
                 # Cache off: the narrowed task is the task itself.
                 parts[i] = fresh_parts
             else:
                 # Per-result weights ride along so the disk store's
                 # eviction sweep knows each measure's recompute cost.
                 weights = tasks[i].result_weights()
-                for j, part in zip(missing[i], fresh_parts):
+                for j, part in zip(state.missing[i], fresh_parts):
                     parts[i][j] = part
-                    self.cache.put(keys[i][j], part, weight=weights[j])
+                    self.cache.put(state.keys[i][j], part, weight=weights[j])
 
         # The aggregated series the run materialized stay in the bounded
         # process-wide memo (repro.graphseries.aggregate_cached) on
@@ -272,8 +376,88 @@ class SweepEngine:
         # a sweep just built.  Callers wanting the memory back call
         # clear_aggregate_cache().
 
-        self.progress.on_finish(progress_total)
-        return [tasks[i].assemble(parts[i]) for i in range(total)]
+        self.progress.on_finish(state.progress_total)
+        return [tasks[i].assemble(parts[i]) for i in range(len(tasks))]
+
+    def run(
+        self,
+        stream: LinkStream,
+        tasks: Sequence[DeltaTask],
+        *,
+        shards: int | str | None = None,
+        cancel: CancelToken | None = None,
+    ) -> list:
+        """Evaluate every task on ``stream``; ``results[i]`` matches
+        ``tasks[i]``.  Cached results are never recomputed: each task's
+        sub-results (one per measure for fused tasks) are probed and
+        stored individually, and tasks with partial hits are narrowed to
+        exactly their missing measures before execution.
+
+        ``shards`` overrides the engine's shard policy for this run (see
+        the class docstring); sharded or not, the returned results are
+        bit-identical.  ``cancel`` defaults to the calling thread's
+        :func:`~repro.engine.cancel.cancel_scope` token, so deadlines set
+        at a request boundary reach every nested sweep.
+        """
+        state = self._prepare(stream, list(tasks), shards)
+        if cancel is None:
+            cancel = current_cancel_token()
+        fresh: list = []
+        if state.to_run:
+            fresh = self.backend.run(
+                stream, state.run_units, tick=state.tick, cancel=cancel
+            )
+        return self._finish(state, fresh)
+
+    def submit(
+        self,
+        stream: LinkStream,
+        tasks: Sequence[DeltaTask],
+        *,
+        shards: int | str | None = None,
+        cancel: CancelToken | None = None,
+    ) -> EngineFuture:
+        """Like :meth:`run`, but non-blocking: cache probing happens now
+        (synchronously — it is cheap), execution is queued, and the
+        returned :class:`EngineFuture` resolves from the backend's pool
+        callbacks.  A fully-cached plan returns an already-done future.
+
+        Requires a backend with ``submit_plan`` (the ``async`` backend);
+        other backends fall back to blocking in this call, preserving
+        the future-shaped API.
+        """
+        state = self._prepare(stream, list(tasks), shards)
+        if cancel is None:
+            cancel = current_cancel_token()
+        future = EngineFuture()
+        if not state.to_run:
+            future._complete(self._finish(state, []))
+            return future
+
+        submit_plan = getattr(self.backend, "submit_plan", None)
+        if submit_plan is None:
+            try:
+                fresh = self.backend.run(
+                    stream, state.run_units, tick=state.tick, cancel=cancel
+                )
+                future._complete(self._finish(state, fresh))
+            except BaseException as exc:
+                future._fail(exc)
+            return future
+
+        handle = submit_plan(
+            stream, state.run_units, tick=state.tick, cancel=cancel
+        )
+
+        def _on_plan_done(done_handle) -> None:
+            try:
+                fresh = done_handle.result(timeout=0)
+                future._complete(self._finish(state, fresh))
+            except BaseException as exc:
+                future._fail(exc)
+
+        handle.add_done_callback(_on_plan_done)
+        return future
 
     def close(self) -> None:
         """Release backend workers (the cache stays usable)."""

@@ -1,0 +1,83 @@
+"""Rendering a :class:`~repro.core.report.StreamReport` as text.
+
+One renderer, two consumers: ``repro analyze`` prints this, and the
+analysis service returns it in fetch responses — sharing the function is
+what makes the daemon's output *bit-identical* to the offline CLI by
+construction rather than by test discipline.
+
+The layout: the report's own summary (``to_text``), then the per-Δ
+evidence table (one column block per measure that has columns), then one
+summary line per column-less companion measure (trip samples, component
+histograms, plugins...) read at the γ point — computed from the very
+scan that elected it.
+"""
+
+from __future__ import annotations
+
+from repro.utils.timeunits import format_duration
+
+
+def render_analysis(report) -> str:
+    """The full ``repro analyze`` text for a report (no trailing newline).
+
+    Includes every companion in ``report.companions``: measures with
+    dedicated columns (classical, metrics) widen the evidence table;
+    the rest are summarized at γ via their result's ``describe()`` (or
+    ``repr`` as the fallback).
+    """
+    sections = [report.to_text(), _render_table(report)]
+    companions = _render_companions(report)
+    if companions:
+        sections.append(companions)
+    return "\n\n".join(sections)
+
+
+def _render_table(report) -> str:
+    # Extra measure columns ride the same per-Δ scan as the occupancy
+    # evidence; shown inline so the curves can be read side by side.
+    extra_sweep = report.classical if report.classical is not None else report.metrics
+    header = "delta        mk_proximity  trips"
+    if extra_sweep is not None:
+        header += "    density"
+    if report.classical is not None:
+        header += "   d_time  d_hops"
+    lines = [header]
+    result = report.saturation
+    for i, point in enumerate(result.points):
+        marker = "  <-- gamma" if point.delta == result.gamma else ""
+        row = (
+            f"{format_duration(point.delta):>9}  {point.mk_proximity:>12.4f}  "
+            f"{point.num_trips:>7}"
+        )
+        if extra_sweep is not None:
+            row += f"  {extra_sweep.points[i].snapshot.mean_density:>9.4f}"
+        if report.classical is not None:
+            classical_point = report.classical.points[i]
+            row += (
+                f"  {classical_point.mean_distance_in_time:>7.3f}"
+                f"  {classical_point.mean_distance_in_hops:>6.3f}"
+            )
+        lines.append(row + marker)
+    return "\n".join(lines)
+
+
+def _render_companions(report) -> str:
+    # Companion measures without a dedicated column (trip samples,
+    # component histograms, plugins...): one summary line each, read at
+    # the gamma point.
+    extra_names = [
+        name for name in report.companions if name not in ("classical", "metrics")
+    ]
+    if not extra_names:
+        return ""
+    result = report.saturation
+    gamma_index = next(
+        i for i, p in enumerate(result.points) if p.delta == result.gamma
+    )
+    lines = []
+    for name in extra_names:
+        value = report.companions[name][gamma_index]
+        describe = getattr(value, "describe", None)
+        summary = describe() if callable(describe) else repr(value)
+        lines.append(f"{name} at gamma: {summary}")
+    return "\n".join(lines)

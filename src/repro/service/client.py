@@ -1,0 +1,196 @@
+"""Client for the analysis daemon: the offline UX, served.
+
+:class:`ServiceClient` wraps the daemon's JSON API in methods mirroring
+the service core, over stdlib :mod:`urllib.request` (no dependencies,
+same as the daemon).  Errors map back onto the library's exception
+hierarchy, so code written against the offline API keeps its ``except``
+clauses: a 429 admission rejection raises
+:class:`~repro.utils.errors.AdmissionError`, a cancelled or
+deadline-expired job raises :class:`~repro.utils.errors.JobCancelled`
+(message intact — it still names the task the plan stopped at), and
+everything else raises :class:`~repro.utils.errors.ServiceError`
+carrying the HTTP status.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib import error as urlerror
+from urllib import request as urlrequest
+from urllib.parse import urlencode
+
+from repro.utils.errors import AdmissionError, JobCancelled, ServiceError
+
+#: Error ``kind`` in a daemon response body -> the exception it becomes.
+_KIND_ERRORS = {
+    "admission": AdmissionError,
+    "cancelled": JobCancelled,
+}
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` daemon.
+
+    Parameters
+    ----------
+    base_url:
+        Daemon address, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Socket timeout (seconds) for each HTTP call — transport-level,
+        distinct from the per-job deadlines the daemon enforces.
+    """
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8765", *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        query: dict | None = None,
+        json_body: dict | None = None,
+        raw_body: bytes | None = None,
+    ) -> dict:
+        url = f"{self.base_url}{path}"
+        if query:
+            url += "?" + urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if json_body is not None:
+            data = json.dumps(json_body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        elif raw_body is not None:
+            data = raw_body
+            headers["Content-Type"] = "application/octet-stream"
+        req = urlrequest.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            raise self._map_error(exc) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(
+                f"cannot reach analysis daemon at {self.base_url}: {exc.reason}"
+            ) from None
+
+    @staticmethod
+    def _map_error(exc: urlerror.HTTPError) -> Exception:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            message = payload["error"]
+            kind = payload.get("kind", "error")
+        except Exception:
+            message, kind = f"HTTP {exc.code}: {exc.reason}", "error"
+        error_cls = _KIND_ERRORS.get(kind)
+        if error_cls is not None:
+            return error_cls(message)
+        return ServiceError(message, status=exc.code)
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def upload_stream(
+        self,
+        path: str,
+        *,
+        columns: str = "u v t",
+        fmt: str = "tsv",
+        directed: bool = True,
+    ) -> str:
+        """Upload an event file; returns the stream's fingerprint
+        (idempotent — same events, same fingerprint, no duplicate)."""
+        with open(path, "rb") as handle:
+            body = handle.read()
+        return self.upload_stream_bytes(
+            body, columns=columns, fmt=fmt, directed=directed
+        )
+
+    def upload_stream_bytes(
+        self,
+        body: bytes,
+        *,
+        columns: str = "u v t",
+        fmt: str = "tsv",
+        directed: bool = True,
+    ) -> str:
+        response = self._request(
+            "POST",
+            "/v1/streams",
+            query={
+                "columns": columns,
+                "format": fmt,
+                "directed": "1" if directed else "0",
+            },
+            raw_body=body,
+        )
+        return response["fingerprint"]
+
+    def streams(self) -> list[dict]:
+        return self._request("GET", "/v1/streams")["streams"]
+
+    def analyze(
+        self,
+        fingerprint: str,
+        *,
+        measures: str = "occupancy",
+        num_deltas: int = 40,
+        method: str = "mk",
+        refine: int = 0,
+        validate: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """Submit an analyze job; returns its status record (``job_id``,
+        ``state``, ``coalesced``) without waiting."""
+        payload = {
+            "fingerprint": fingerprint,
+            "measures": measures,
+            "num_deltas": num_deltas,
+            "method": method,
+            "refine": refine,
+            "validate": validate,
+        }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request("POST", "/v1/analyze", json_body=payload)
+
+    def sweep(
+        self,
+        fingerprint: str,
+        *,
+        measures: str = "occupancy",
+        num_deltas: int = 40,
+        timeout: float | None = None,
+    ) -> dict:
+        payload = {
+            "fingerprint": fingerprint,
+            "measures": measures,
+            "num_deltas": num_deltas,
+        }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request("POST", "/v1/sweep", json_body=payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def fetch(self, job_id: str, *, wait: float | None = None) -> dict:
+        """A finished job's result payload; ``wait`` long-polls."""
+        query = {"wait": f"{wait:g}"} if wait is not None else None
+        response = self._request("GET", f"/v1/jobs/{job_id}/result", query=query)
+        return response["result"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop serving (it finishes in-flight work)."""
+        return self._request("POST", "/v1/shutdown")

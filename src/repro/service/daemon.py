@@ -1,0 +1,564 @@
+"""The analysis daemon: warm state, bounded concurrency, HTTP+JSON.
+
+Two layers, deliberately separable:
+
+* :class:`AnalysisService` — the transport-free core.  It owns the
+  registered streams (keyed by content fingerprint), one shared
+  :class:`~repro.engine.SweepEngine` (``async`` backend + sweep cache:
+  every request of every client warms the same store), and a
+  :class:`~repro.engine.JobQueue` that bounds the backlog, enforces
+  per-request deadlines, and coalesces identical in-flight requests.
+  Tests drive this object directly — no sockets required.
+* the HTTP handler + :func:`serve` — a thin JSON wire over the core
+  (stdlib :mod:`http.server`; the daemon adds no dependencies).
+
+API sketch (all JSON unless noted)::
+
+    GET    /v1/health            liveness + queue/engine statistics
+    POST   /v1/streams           upload an event file body (TSV/CSV);
+                                 query: columns, format, directed
+                                 -> {"fingerprint": ...}   (idempotent)
+    GET    /v1/streams           registered streams
+    POST   /v1/analyze           {"fingerprint", "measures", "num_deltas",
+                                  "method", "refine", "validate",
+                                  "timeout"} -> 202 {"job_id", ...}
+    POST   /v1/sweep             {"fingerprint", "measures", "num_deltas",
+                                  "timeout"} -> 202 {"job_id", ...}
+    GET    /v1/jobs              every job's status
+    GET    /v1/jobs/<id>         one job's status
+    GET    /v1/jobs/<id>/result  the result; ?wait=SECONDS long-polls
+    DELETE /v1/jobs/<id>         cancel the job
+    POST   /v1/shutdown          stop the daemon (used by smoke tests)
+
+**Coalescing semantics.**  Two analyze submissions are *identical* when
+their stream fingerprint, measure tokens (parameters included), Δ-grid
+size, selection method, refinement rounds, and validate flag all match.
+An identical submission arriving while the first is queued or running
+does not start new work: it attaches to the in-flight computation, may
+extend (never tighten) its deadline, and receives the identical result
+object.  A submission arriving *after* completion starts a new job, but
+the sweep cache serves it without recomputing — warm repeats perform
+zero scans.
+
+**Error mapping** (mirrored by the client): admission-control rejection
+→ 429, unknown stream/job → 404, result not ready → 409, cancelled or
+deadline-expired job → 504 (the body names the task the plan stopped
+at), invalid request → 400, anything else → 500.  Bodies are
+``{"error": message, "kind": ...}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core import analyze_stream, log_delta_grid
+from repro.engine import (
+    JobQueue,
+    SweepCache,
+    SweepEngine,
+    normalize_measures,
+    parse_measures_arg,
+    plan_measure_sweep,
+)
+from repro.engine.jobs import DONE, FAILED, CANCELLED, Job
+from repro.linkstream import read_csv, read_tsv
+from repro.linkstream.stream import LinkStream
+from repro.reporting import render_analysis
+from repro.utils.errors import (
+    AdmissionError,
+    JobCancelled,
+    ReproError,
+    ServiceError,
+)
+from repro.utils.timeunits import format_duration
+
+#: Service protocol version (the ``/v1/`` URL prefix).
+API_VERSION = "v1"
+
+
+def _coalesce_key(kind: str, fingerprint: str, specs, **params) -> str:
+    """Identity of a request for coalescing: the stream fingerprint, the
+    measure tokens (parameters included), and every sweep-shaping
+    parameter.  Matches the cache-key identity, so coalesced requests
+    are exactly those whose results would be bit-identical anyway."""
+    payload = repr(
+        (
+            kind,
+            fingerprint,
+            tuple(m.token() for m in specs),
+            tuple(sorted(params.items())),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class AnalysisService:
+    """Transport-free service core: streams, engine, job queue.
+
+    Parameters
+    ----------
+    backend:
+        Engine backend spec (default ``"async"`` — the shared thread
+        pool all jobs' sweeps run on).
+    jobs:
+        Backend worker count (default: the CPU count).
+    runners:
+        Concurrent jobs; each runner blocks on its job's sweeps, the
+        parallelism lives in the backend pool below.
+    max_pending:
+        Admission limit — queued computations beyond this are rejected
+        with a 429-style :class:`~repro.utils.errors.AdmissionError`.
+    default_timeout:
+        Deadline (seconds) applied to requests that don't set their own.
+    cache_dir:
+        Optional persistent sweep-cache directory.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "async",
+        jobs: int | None = None,
+        runners: int = 4,
+        max_pending: int = 32,
+        default_timeout: float | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
+        self.engine = SweepEngine(
+            backend,
+            jobs=jobs,
+            cache=SweepCache.build(disk_dir=cache_dir),
+        )
+        self.queue = JobQueue(runners=runners, max_pending=max_pending)
+        self.default_timeout = default_timeout
+        self._streams: dict[str, LinkStream] = {}
+        self._lock = threading.Lock()
+
+    # -- streams -----------------------------------------------------------
+
+    def register_stream(self, stream: LinkStream) -> str:
+        """Register a stream under its content fingerprint (idempotent:
+        re-uploading the same events lands on the same entry)."""
+        fingerprint = stream.fingerprint()
+        with self._lock:
+            self._streams.setdefault(fingerprint, stream)
+        return fingerprint
+
+    def register_stream_text(
+        self,
+        text: str,
+        *,
+        columns: str = "u v t",
+        fmt: str = "tsv",
+        directed: bool = True,
+    ) -> str:
+        """Register a stream from an uploaded event-file body."""
+        reader = read_csv if fmt == "csv" else read_tsv
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=f".{fmt}", encoding="utf-8", delete=False
+        )
+        try:
+            handle.write(text)
+            handle.close()
+            stream = reader(handle.name, columns=columns, directed=directed)
+        finally:
+            os.unlink(handle.name)
+        return self.register_stream(stream)
+
+    def stream(self, fingerprint: str) -> LinkStream:
+        with self._lock:
+            stream = self._streams.get(fingerprint)
+        if stream is None:
+            raise ServiceError(
+                f"unknown stream fingerprint {fingerprint!r}; upload it first",
+                status=404,
+            )
+        return stream
+
+    def list_streams(self) -> list[dict]:
+        with self._lock:
+            streams = dict(self._streams)
+        return [
+            {
+                "fingerprint": fingerprint,
+                "num_events": stream.num_events,
+                "num_nodes": stream.num_nodes,
+                "span": stream.t_max - stream.t_min,
+            }
+            for fingerprint, stream in sorted(streams.items())
+        ]
+
+    # -- job submission ----------------------------------------------------
+
+    def _parse_measures(self, measures) -> tuple:
+        if measures is None:
+            measures = "occupancy"
+        if isinstance(measures, str):
+            return parse_measures_arg(measures)
+        return normalize_measures(measures)
+
+    def submit_analyze(
+        self,
+        fingerprint: str,
+        *,
+        measures="occupancy",
+        num_deltas: int = 40,
+        method: str = "mk",
+        refine: int = 0,
+        validate: bool = False,
+        timeout: float | None = None,
+    ) -> Job:
+        """Queue a full ``analyze`` of a registered stream.
+
+        Defaults mirror the CLI (``validate`` included — off unless
+        asked, so warm repeats touch no scan at all), and the rendered
+        result text is bit-identical to offline ``repro analyze``.
+        """
+        stream = self.stream(fingerprint)
+        specs = self._parse_measures(measures)
+        key = _coalesce_key(
+            "analyze",
+            fingerprint,
+            specs,
+            num_deltas=num_deltas,
+            method=method,
+            refine=refine,
+            validate=validate,
+        )
+        engine = self.engine
+
+        def run_analysis() -> dict:
+            report = analyze_stream(
+                stream,
+                validate=validate,
+                measures=specs,
+                num_deltas=num_deltas,
+                method=method,
+                refine_rounds=refine,
+                engine=engine,
+            )
+            return {
+                "kind": "analyze",
+                "fingerprint": fingerprint,
+                "gamma": report.gamma,
+                "gamma_human": format_duration(report.gamma),
+                "text": render_analysis(report),
+            }
+
+        return self.queue.submit(
+            run_analysis,
+            key=key,
+            timeout=self.default_timeout if timeout is None else timeout,
+            label=f"analyze {fingerprint[:12]}",
+        )
+
+    def submit_sweep(
+        self,
+        fingerprint: str,
+        *,
+        measures="occupancy",
+        num_deltas: int = 40,
+        timeout: float | None = None,
+    ) -> Job:
+        """Queue a raw measure sweep (no γ selection): every measure at
+        every grid Δ, summarized per point."""
+        stream = self.stream(fingerprint)
+        specs = self._parse_measures(measures)
+        key = _coalesce_key("sweep", fingerprint, specs, num_deltas=num_deltas)
+        engine = self.engine
+
+        def run_sweep() -> dict:
+            deltas = log_delta_grid(stream, num=num_deltas)
+            tasks = plan_measure_sweep(deltas, specs)
+            results = engine.run(stream, tasks)
+            summaries: dict[str, list[str]] = {m.name: [] for m in specs}
+            for per_delta in results:
+                for spec in specs:
+                    value = per_delta[spec.name]
+                    describe = getattr(value, "describe", None)
+                    summaries[spec.name].append(
+                        describe() if callable(describe) else repr(value)
+                    )
+            return {
+                "kind": "sweep",
+                "fingerprint": fingerprint,
+                "deltas": [float(d) for d in deltas],
+                "measures": [m.name for m in specs],
+                "summaries": summaries,
+            }
+
+        return self.queue.submit(
+            run_sweep,
+            key=key,
+            timeout=self.default_timeout if timeout is None else timeout,
+            label=f"sweep {fingerprint[:12]}",
+        )
+
+    # -- job inspection ----------------------------------------------------
+
+    def _job(self, job_id: str) -> Job:
+        job = self.queue.job(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def status(self, job_id: str) -> dict:
+        return self.describe_job(self._job(job_id))
+
+    @staticmethod
+    def describe_job(job: Job) -> dict:
+        record = {
+            "job_id": job.id,
+            "state": job.state,
+            "label": job.label,
+            "coalesced": job.coalesced,
+        }
+        error = job.error
+        if error is not None:
+            record["error"] = str(error)
+        return record
+
+    def result(self, job_id: str, *, wait: float | None = None) -> dict:
+        """A finished job's result payload.
+
+        ``wait`` long-polls up to that many seconds.  A job that is
+        still live afterwards raises 409; a cancelled job raises 504
+        with the cancellation message (which names the task the plan
+        stopped at when a deadline cut a sweep short); a failed job
+        raises 500 carrying the failure.
+        """
+        job = self._job(job_id)
+        if wait:
+            job.wait(wait)
+        state = job.state
+        if state == DONE:
+            return {"job_id": job.id, "state": state, "result": job.result(0)}
+        if state == CANCELLED:
+            raise ServiceError(f"job {job.id} cancelled: {job.error}", status=504)
+        if state == FAILED:
+            raise ServiceError(f"job {job.id} failed: {job.error}", status=500)
+        raise ServiceError(
+            f"job {job.id} not done yet (state: {state}); poll again or "
+            "pass ?wait=SECONDS",
+            status=409,
+        )
+
+    def cancel(self, job_id: str) -> dict:
+        job = self._job(job_id)
+        job.cancel()
+        return self.describe_job(job)
+
+    def stats(self) -> dict:
+        return {
+            "status": "ok",
+            "api": API_VERSION,
+            "streams": len(self._streams),
+            "queue": self.queue.stats(),
+            "backend": repr(self.engine.backend),
+        }
+
+    def close(self) -> None:
+        self.queue.close()
+        self.engine.close()
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The HTTP transport.
+# ---------------------------------------------------------------------------
+
+_ERROR_KINDS = {
+    404: "not_found",
+    409: "pending",
+    429: "admission",
+    504: "cancelled",
+    400: "bad_request",
+    500: "internal",
+}
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """JSON wire over :class:`AnalysisService` (one instance per request,
+    many at once — the server is threading)."""
+
+    server_version = "repro-serve/" + API_VERSION
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        kind = _ERROR_KINDS.get(status, "error")
+        self._send_json(status, {"error": message, "kind": kind})
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _read_json(self) -> dict:
+        body = self._read_body()
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"invalid JSON body: {exc}", status=400) from None
+        if not isinstance(payload, dict):
+            raise ServiceError("JSON body must be an object", status=400)
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        query = {key: values[-1] for key, values in parse_qs(url.query).items()}
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if not parts or parts[0] != API_VERSION:
+                raise ServiceError(
+                    f"unknown path {url.path!r} (API is under /{API_VERSION}/)",
+                    status=404,
+                )
+            self._route(method, parts[1:], query)
+        except AdmissionError as exc:
+            self._send_error(429, str(exc))
+        except JobCancelled as exc:
+            self._send_error(504, str(exc))
+        except ServiceError as exc:
+            self._send_error(exc.status or 500, str(exc))
+        except ReproError as exc:
+            self._send_error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
+
+    def _route(self, method: str, parts: list[str], query: dict) -> None:
+        service = self.service
+        route = (method, *parts[:1])
+        if route == ("GET", "health"):
+            self._send_json(200, service.stats())
+        elif route == ("GET", "streams"):
+            self._send_json(200, {"streams": service.list_streams()})
+        elif route == ("POST", "streams"):
+            text = self._read_body().decode("utf-8")
+            fingerprint = service.register_stream_text(
+                text,
+                columns=query.get("columns", "u v t"),
+                fmt=query.get("format", "tsv"),
+                directed=query.get("directed", "1") not in ("0", "false", "no"),
+            )
+            self._send_json(201, {"fingerprint": fingerprint})
+        elif route in (("POST", "analyze"), ("POST", "sweep")):
+            payload = self._read_json()
+            fingerprint = payload.get("fingerprint")
+            if not fingerprint:
+                raise ServiceError("missing 'fingerprint'", status=400)
+            common = {
+                "measures": payload.get("measures", "occupancy"),
+                "num_deltas": int(payload.get("num_deltas", 40)),
+                "timeout": payload.get("timeout"),
+            }
+            if parts[0] == "analyze":
+                job = service.submit_analyze(
+                    fingerprint,
+                    method=payload.get("method", "mk"),
+                    refine=int(payload.get("refine", 0)),
+                    validate=bool(payload.get("validate", False)),
+                    **common,
+                )
+            else:
+                job = service.submit_sweep(fingerprint, **common)
+            self._send_json(202, service.describe_job(job))
+        elif route == ("GET", "jobs") and len(parts) == 1:
+            self._send_json(
+                200,
+                {"jobs": [service.describe_job(j) for j in service.queue.jobs()]},
+            )
+        elif parts[:1] == ["jobs"] and len(parts) >= 2:
+            job_id = parts[1]
+            if method == "GET" and len(parts) == 3 and parts[2] == "result":
+                wait = float(query["wait"]) if "wait" in query else None
+                self._send_json(200, service.result(job_id, wait=wait))
+            elif method == "GET" and len(parts) == 2:
+                self._send_json(200, service.status(job_id))
+            elif method == "DELETE" and len(parts) == 2:
+                self._send_json(200, service.cancel(job_id))
+            else:
+                raise ServiceError(f"unknown route {self.path!r}", status=404)
+        elif route == ("POST", "shutdown"):
+            self._send_json(200, {"status": "shutting down"})
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            raise ServiceError(f"unknown route {self.path!r}", status=404)
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The daemon's HTTP server: threading (each request handled on its
+    own thread; the heavy lifting is delegated to the shared queue and
+    engine anyway), bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: AnalysisService, *, verbose: bool = False):
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    service: AnalysisService | None = None,
+    verbose: bool = False,
+    **service_kwargs,
+) -> None:
+    """Run the analysis daemon until interrupted (or ``POST
+    /v1/shutdown``).  ``service_kwargs`` go to :class:`AnalysisService`
+    when no pre-built ``service`` is passed."""
+    owns = service is None
+    if service is None:
+        service = AnalysisService(**service_kwargs)
+    server = ServiceServer((host, port), service, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if owns:
+            service.close()

@@ -27,3 +27,24 @@ class ValidationError(ReproError):
 
 class EngineError(ReproError):
     """Invalid sweep-engine configuration (unknown backend, bad cache...)."""
+
+
+class JobCancelled(EngineError):
+    """A sweep or job was cancelled before it completed (explicit
+    cancellation or an expired deadline).  The message names the reason
+    and, when raised from inside a plan, the task it stopped at."""
+
+
+class AdmissionError(EngineError):
+    """A job queue refused a submission because it is at capacity (the
+    429-style rejection of the analysis service)."""
+
+
+class ServiceError(ReproError):
+    """An analysis-service request failed (daemon-side rejection mapped
+    back by the client, unknown job or stream, transport failure...)."""
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        #: HTTP status of the failing response (``None`` off the wire).
+        self.status = status

@@ -355,3 +355,34 @@ class TestCachePrewarm:
         )
         assert code == 2
         assert "unknown measure" in capsys.readouterr().err
+
+
+class TestMeasuresList:
+    def test_measures_list_command(self, capsys):
+        code = main(["measures", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "registered measures" in out
+        assert "occupancy" in out
+        assert "trips" in out
+        assert "max_samples: int" in out  # schema with types and defaults
+        assert "repro.measures" in out  # the entry-point group is advertised
+
+    def test_analyze_measures_list_needs_no_events(self, capsys):
+        code = main(["analyze", "--measures-list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "registered measures" in out
+
+    def test_measures_list_outputs_match(self, capsys):
+        main(["measures", "list"])
+        via_measures = capsys.readouterr().out
+        main(["analyze", "--measures-list"])
+        via_analyze = capsys.readouterr().out
+        assert via_measures == via_analyze
+
+    def test_analyze_without_events_or_list_fails_cleanly(self, capsys):
+        code = main(["analyze"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "event file" in err

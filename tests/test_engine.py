@@ -132,7 +132,7 @@ class RecordingTask(DeltaTask):
 
 class TestBackendRegistry:
     def test_available_names(self):
-        assert available_backends() == ["process", "serial", "thread"]
+        assert available_backends() == ["async", "process", "serial", "thread"]
 
     def test_get_by_name(self):
         assert isinstance(get_backend("serial"), SerialBackend)

@@ -612,3 +612,148 @@ class TestCLIErrorPaths:
         code = main(["analyze", str(events_file), "--measures", "trips"])
         assert code == 2
         assert "occupancy" in capsys.readouterr().err
+
+
+class TestEntryPointDiscovery:
+    """Measures advertised by installed packages (the ``repro.measures``
+    entry-point group) register at first registry use."""
+
+    @staticmethod
+    def _fake_point(name, target):
+        class Point:
+            def load(self):
+                if isinstance(target, Exception):
+                    raise target
+                return target
+
+        point = Point()
+        point.name = name
+        return point
+
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        from repro.engine import measures as measures_mod
+
+        yield
+        # Re-scan the real (empty) environment so later tests see no
+        # leftover fakes or recorded failures.
+        for name in ("ep_spark", "ep_hooked"):
+            try:
+                unregister_measure(name)
+            except EngineError:
+                pass
+        measures_mod.load_entry_point_measures(reload=True)
+
+    def test_spec_entry_point_registers(self, monkeypatch):
+        from repro.engine import measures as measures_mod
+
+        @dataclass(frozen=True)
+        class SparkMeasure(MeasureSpec):
+            @property
+            def name(self):
+                return "ep_spark"
+
+            def finalize(self, delta, geometry, payload, collectors):
+                return None
+
+        monkeypatch.setattr(
+            measures_mod,
+            "_entry_points",
+            lambda: [self._fake_point("spark", SparkMeasure)],
+        )
+        loaded = measures_mod.load_entry_point_measures(reload=True)
+        assert loaded == ["spark"]
+        assert "ep_spark" in available_measures()
+        assert not measures_mod.ENTRY_POINT_FAILURES
+
+    def test_callable_entry_point_runs_as_hook(self, monkeypatch):
+        from repro.engine import measures as measures_mod
+
+        @dataclass(frozen=True)
+        class HookedMeasure(MeasureSpec):
+            @property
+            def name(self):
+                return "ep_hooked"
+
+            def finalize(self, delta, geometry, payload, collectors):
+                return None
+
+        def hook():
+            register_measure(HookedMeasure)
+
+        monkeypatch.setattr(
+            measures_mod,
+            "_entry_points",
+            lambda: [self._fake_point("hooked", hook)],
+        )
+        measures_mod.load_entry_point_measures(reload=True)
+        assert "ep_hooked" in available_measures()
+
+    def test_broken_entry_point_is_recorded_not_fatal(self, monkeypatch):
+        from repro.engine import measures as measures_mod
+
+        monkeypatch.setattr(
+            measures_mod,
+            "_entry_points",
+            lambda: [
+                self._fake_point("broken", ImportError("no module named spam")),
+            ],
+        )
+        with pytest.warns(RuntimeWarning, match="broken measure entry point"):
+            loaded = measures_mod.load_entry_point_measures(reload=True)
+        assert loaded == []
+        assert measures_mod.ENTRY_POINT_FAILURES == [
+            ("broken", "no module named spam")
+        ]
+        # The registry still works.
+        assert "occupancy" in available_measures()
+
+    def test_non_measure_target_is_a_failure(self, monkeypatch):
+        from repro.engine import measures as measures_mod
+
+        monkeypatch.setattr(
+            measures_mod,
+            "_entry_points",
+            lambda: [self._fake_point("junk", object())],
+        )
+        with pytest.warns(RuntimeWarning):
+            measures_mod.load_entry_point_measures(reload=True)
+        assert measures_mod.ENTRY_POINT_FAILURES[0][0] == "junk"
+
+    def test_scan_runs_once_unless_reloaded(self, monkeypatch):
+        from repro.engine import measures as measures_mod
+
+        calls = []
+
+        def spy():
+            calls.append(1)
+            return []
+
+        monkeypatch.setattr(measures_mod, "_entry_points", spy)
+        measures_mod.load_entry_point_measures(reload=True)
+        measures_mod.load_entry_point_measures()
+        available_measures()  # registry uses trigger the lazy scan
+        assert len(calls) == 1
+
+
+class TestDescribeMeasures:
+    def test_records_cover_registry(self):
+        from repro.engine import describe_measures
+
+        records = describe_measures()
+        names = [record["name"] for record in records]
+        assert names == sorted(names)
+        assert "occupancy" in names
+        assert "hop_hist" in names  # plugins introspect like built-ins
+
+    def test_record_shape(self):
+        from repro.engine import describe_measures
+
+        record = next(
+            r for r in describe_measures() if r["name"] == "trips"
+        )
+        assert record["scans"] is True
+        assert record["summary"]  # first docstring line
+        params = {p["name"]: p for p in record["params"]}
+        assert "max_samples" in params
+        assert params["max_samples"]["type"] == "int"
