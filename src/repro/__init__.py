@@ -10,6 +10,9 @@ Quickstart::
     result = occupancy_method(stream)
     print(result.describe())      # the saturation scale gamma
 
+Contributing code?  ``repro lint src/repro`` checks the project
+invariants described below before the test suite ever runs.
+
 Packages
 --------
 ``repro.linkstream``
@@ -205,7 +208,48 @@ measures list`` (or ``repro analyze --measures-list``) prints every
 registered measure with its parameter schema, types, and defaults —
 including measures installed by third-party packages through the
 ``repro.measures`` entry-point group, discovered automatically at
-registry first use.
+registry first use (``--format json`` emits the same records
+machine-readably).
+
+Project invariants
+------------------
+Four conventions carry the repo's correctness story, and ``repro
+lint`` (:mod:`repro.lint`) enforces them statically — CI runs it as a
+gating job next to the tests:
+
+* **Cache-key completeness.**  A measure's frozen-dataclass fields are
+  its cache identity; a parameter added as a plain class attribute
+  silently escapes ``token()`` and collides in the cache (the
+  ``include_isolated`` bug PR 4 fixed by hand).  Key-builder functions
+  must fold a literal ``*_VERSION`` constant into their payload so
+  key-shape changes are invalidated by a reviewable bump.  Rules:
+  ``cache-key-unhashed-field``, ``cache-key-scoring-fields``,
+  ``cache-key-version``.
+* **Determinism.**  In ``engine/``, ``temporal/``, ``graphseries/``
+  and ``core/`` results are pure functions of the stream and the
+  parameters: no iteration over sets without ``sorted(...)``, no
+  ``random.*`` / ``time.time()`` / ``id()`` / ``hash()`` (randomness
+  routes through :mod:`repro.utils.rng`, clocks are explicit and
+  monotonic), no float accumulation inside integer-exact collectors —
+  the bit-identity contract PRs 1–3 prove backend × shard × cache.
+  Rules: ``unsorted-set-iteration``, ``nondeterministic-call``,
+  ``float-accumulation``.
+* **Collector contract.**  Any class with ``record`` feeds the sharded
+  backward scan (PR 2), so it must also define in-place ``merge`` and
+  the ``empty`` property, or shard reassembly silently drops its
+  state.  Rules: ``collector-contract``, ``collector-merge-inplace``.
+* **Lock discipline.**  In ``engine/`` and ``service/`` (the daemon of
+  PR 5), a lock-owning class writes its private state only inside
+  ``with self.<lock>:`` (or ``__init__``; helpers called with the lock
+  held are named ``*_locked``), and the cross-module lock-acquisition
+  order must be acyclic.  Rules: ``unlocked-attribute-write``,
+  ``lock-order-cycle``.
+
+Exemptions are explicit and visible: a trailing ``# repro:
+ignore[rule-id] -- reason`` comment suppresses one finding on that
+line, and suppressed findings still show up in the report counts.  New
+rules subclass :class:`repro.lint.Rule` — see :mod:`repro.lint` for
+the how-to.
 """
 
 from repro.core import (
@@ -221,7 +265,7 @@ from repro.engine import SweepCache, SweepEngine
 from repro.graphseries import GraphSeries, Snapshot, aggregate
 from repro.linkstream import IntervalStream, LinkStream
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "LinkStream",

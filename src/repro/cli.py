@@ -16,7 +16,12 @@ Commands
 ``datasets``  list the built-in dataset replicas and their statistics.
 ``measures``  introspect the measure registry (``list`` prints every
               registered measure with its parameter schema, types, and
-              defaults — entry-point plugins included).
+              defaults — entry-point plugins included; ``--format json``
+              emits the same records machine-readably).
+``lint``      run the project-invariant checker (:mod:`repro.lint`)
+              over source paths: cache-key completeness, determinism,
+              collector contracts, lock discipline.  Exit code 0 when
+              clean, 1 with findings, 2 on usage errors.
 ``cache``     manage the persistent sweep-result store (``stats`` /
               ``clear`` / ``prewarm``, the last replaying a sweep spec
               into the store so later analyses start warm).
@@ -132,8 +137,27 @@ def _render_measures_list() -> str:
 
 def _cmd_measures(args: argparse.Namespace) -> int:
     # Only one action today ("list"); argparse enforces the choice.
-    print(_render_measures_list())
+    if args.format == "json":
+        print(json.dumps(describe_measures(), indent=2))
+    else:
+        print(_render_measures_list())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule_cls in all_rules():
+            print(f"{rule_cls.id:<28} {rule_cls.summary}")
+        return 0
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    result = lint_paths(paths, rule_ids=args.rules or None)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -469,7 +493,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--measures name:key=value parameters.",
     )
     measures.add_argument("action", choices=("list",))
+    measures.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json emits the describe_measures() records "
+        "verbatim, one object per measure with its parameter schema)",
+    )
     measures.set_defaults(func=_cmd_measures)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check project invariants (determinism, cache keys, "
+        "collector contracts, lock discipline)",
+        description="Run the AST-based invariant checker over source "
+        "paths (default: the installed repro package). Exit code 0 when "
+        "clean, 1 when findings remain, 2 on usage errors. Suppress a "
+        "finding with a trailing `# repro: ignore[rule-id]` comment.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule ids and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     serve_cmd = sub.add_parser(
         "serve",

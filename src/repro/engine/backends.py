@@ -340,7 +340,10 @@ class PlanHandle:
     def _attach(self, futures: Sequence) -> None:
         """Wire the plan's futures in; callbacks on already-finished
         futures fire immediately, so attachment is race-free."""
-        self._futures = list(futures)
+        # The lock is reentrant, so holding it here stays safe even when
+        # an already-finished future fires _on_task_done synchronously.
+        with self._lock:
+            self._futures = list(futures)
         if not futures:
             self._settle()
             return

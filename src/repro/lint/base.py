@@ -1,0 +1,282 @@
+"""Rule framework for :mod:`repro.lint`.
+
+A rule is a class with a kebab-case ``id``, a one-line ``summary``, a
+``hint`` (attached to every finding as the suggested fix), an optional
+``applies(module)`` scope predicate, and a ``check(module)`` method
+returning findings for one parsed module.  Rules that need whole-run
+state (e.g. the lock-order graph) accumulate across ``check`` calls
+and emit from ``finish()``.
+
+Shared plumbing lives here: :class:`ModuleContext` (one parsed file),
+:class:`ContextVisitor` (an :class:`ast.NodeVisitor` that tracks the
+enclosing class/function stacks), and small AST helpers used by
+several rule families.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, ClassVar, Iterable, Type
+
+
+class ModuleContext:
+    """One source file parsed for linting."""
+
+    def __init__(
+        self,
+        path: str,
+        display: str,
+        source: str,
+        tree: ast.Module,
+        suppressions: dict[int, set[str]],
+    ) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.suppressions = suppressions
+        # Path components of `display`, extension stripped from the last
+        # one, used by rules to scope themselves to subsystems.
+        parts = display.replace("\\", "/").split("/")
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        self.components = tuple(part for part in parts if part)
+
+    def has_component(self, *names: str) -> bool:
+        return any(name in self.components for name in names)
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    hint: ClassVar[str] = ""
+
+    def applies(self, module: ModuleContext) -> bool:
+        """Whether this rule runs on ``module`` (default: everywhere)."""
+
+        return True
+
+    def check(self, module: ModuleContext) -> list["Finding"]:
+        """Return findings for one module."""
+
+        raise NotImplementedError
+
+    def finish(self) -> list["Finding"]:
+        """Emit findings that need the whole run (default: none)."""
+
+        return []
+
+    def finding(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        message: str,
+    ) -> "Finding":
+        from repro.lint.findings import Finding
+
+        return Finding(
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+            hint=self.hint,
+        )
+
+
+RULE_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Type[Rule]]:
+    return [RULE_REGISTRY[rule_id] for rule_id in sorted(RULE_REGISTRY)]
+
+
+class ContextVisitor(ast.NodeVisitor):
+    """NodeVisitor tracking the enclosing class and function stacks.
+
+    Subclasses override ``visit_*`` as usual; call
+    ``self.generic_visit(node)`` to descend.  ``self.class_stack`` and
+    ``self.func_stack`` hold the AST nodes of enclosing definitions.
+    """
+
+    def __init__(self, module: ModuleContext) -> None:
+        self.module = module
+        self.class_stack: list[ast.ClassDef] = []
+        self.func_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+
+    @property
+    def current_class(self) -> ast.ClassDef | None:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def current_function(self) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        return self.func_stack[-1] if self.func_stack else None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.func_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_LOCK_FACTORY_SUFFIXES = ("Lock", "RLock", "Condition", "Semaphore")
+
+
+def is_lock_factory_call(node: ast.AST) -> bool:
+    """True for ``threading.Lock()`` / ``RLock()`` / ``Condition(...)``."""
+
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    return name.split(".")[-1].endswith(_LOCK_FACTORY_SUFFIXES)
+
+
+def self_attribute_target(node: ast.AST) -> str | None:
+    """Attribute name when ``node`` is ``self.<attr>``; None otherwise."""
+
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def class_lock_attrs(class_node: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` assigned a lock factory call in ``__init__``.
+
+    Detection is name-agnostic: ``_lock``, ``_size_lock``, ``lock`` all
+    count — what matters is that the attribute is bound to
+    ``threading.Lock()`` / ``RLock()`` / ``Condition()`` at init time.
+    """
+
+    attrs: set[str] = set()
+    for item in class_node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name != "__init__":
+            continue
+        for stmt in ast.walk(item):
+            if isinstance(stmt, ast.Assign) and is_lock_factory_call(stmt.value):
+                for target in stmt.targets:
+                    attr = self_attribute_target(target)
+                    if attr is not None:
+                        attrs.add(attr)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if is_lock_factory_call(stmt.value):
+                    attr = self_attribute_target(stmt.target)
+                    if attr is not None:
+                        attrs.add(attr)
+    return attrs
+
+
+def iter_methods(
+    class_node: ast.ClassDef,
+) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for item in class_node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def walk_statements(
+    body: Iterable[ast.stmt],
+    enter_with: Callable[[ast.With], None] | None = None,
+    leave_with: Callable[[ast.With], None] | None = None,
+) -> Iterable[ast.stmt]:
+    """Yield statements depth-first, signalling ``with`` entry/exit.
+
+    Unlike :func:`ast.walk` this keeps lexical ``with`` nesting
+    observable, which the lock rules need to know which writes happen
+    under which locks.  Nested function definitions are *not*
+    descended into (their bodies run later, under their own locking).
+    """
+
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.With):
+            if enter_with is not None:
+                enter_with(stmt)
+            yield from walk_statements(stmt.body, enter_with, leave_with)
+            if leave_with is not None:
+                leave_with(stmt)
+            continue
+        for child_body in _statement_bodies(stmt):
+            yield from walk_statements(child_body, enter_with, leave_with)
+
+
+def _statement_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for field in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+# Late import for type checkers only; Finding is used in annotations above.
+from repro.lint.findings import Finding  # noqa: E402  (cycle-free: findings imports nothing from base)
+
+__all__ = [
+    "ContextVisitor",
+    "Finding",
+    "ModuleContext",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "class_lock_attrs",
+    "dotted_name",
+    "is_lock_factory_call",
+    "iter_methods",
+    "register_rule",
+    "self_attribute_target",
+    "walk_statements",
+]

@@ -1,0 +1,281 @@
+"""Cache-key completeness rules.
+
+A measure's cache identity is derived mechanically from its frozen
+dataclass fields (``MeasureSpec.token()`` folds every ``params()``
+entry into the key).  The failure mode these rules target is the PR-4
+``include_isolated`` bug: a "parameter" added as a plain class
+attribute is invisible to ``params()``, so two specs with different
+behavior share one cache entry and poison each other's results.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import (
+    ModuleContext,
+    Rule,
+    dotted_name,
+    iter_methods,
+    register_rule,
+)
+from repro.lint.findings import Finding
+
+#: Class attributes the MeasureSpec contract defines as plain (non-field)
+#: class-level configuration.  Everything else assigned without an
+#: annotation on a spec subclass is a latent cache-key hole.
+CONTRACT_ATTRS = frozenset(
+    {"scans", "has_payload", "scoring_fields", "cache_weight"}
+)
+
+_KEY_BUILDER_NAMES = frozenset({"cache_key", "measure_key"})
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _measure_spec_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes deriving (transitively, within this module) from MeasureSpec."""
+
+    classes = [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+    spec_names = {"MeasureSpec"}
+    # Fixed point over same-module inheritance chains.
+    changed = True
+    while changed:
+        changed = False
+        for node in classes:
+            if node.name in spec_names:
+                continue
+            if any(base in spec_names for base in _base_names(node)):
+                spec_names.add(node.name)
+                changed = True
+    return [node for node in classes if node.name in spec_names and node.name != "MeasureSpec"]
+
+
+def _annotated_fields(node: ast.ClassDef) -> set[str]:
+    """Dataclass field names: annotated, non-ClassVar class-body targets."""
+
+    fields: set[str] = set()
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.add(stmt.target.id)
+    return fields
+
+
+def _inherited_fields(
+    node: ast.ClassDef, by_name: dict[str, ast.ClassDef]
+) -> set[str]:
+    """Annotated fields of ``node`` plus same-module ancestors."""
+
+    fields = set()
+    seen: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        fields |= _annotated_fields(current)
+        for base in _base_names(current):
+            parent = by_name.get(base)
+            if parent is not None:
+                stack.append(parent)
+    return fields
+
+
+@register_rule
+class UnhashedFieldRule(Rule):
+    """Plain class attributes on MeasureSpec subclasses escape the cache key."""
+
+    id = "cache-key-unhashed-field"
+    summary = "MeasureSpec attribute not hashed into the cache key"
+    hint = (
+        "make it an annotated dataclass field (hashed by token()), annotate "
+        "it as ClassVar[...] if it is genuinely class-level configuration, "
+        "or use one of the contract attrs (scans/has_payload/scoring_fields/"
+        "cache_weight)"
+    )
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in _measure_spec_classes(module.tree):
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if not isinstance(target, ast.Name):
+                            continue
+                        name = target.id
+                        if name in CONTRACT_ATTRS or name.startswith("_"):
+                            continue
+                        findings.append(
+                            self.finding(
+                                module,
+                                stmt,
+                                f"{node.name}.{name} is a plain class "
+                                "attribute: it will not be hashed by "
+                                "token(), so specs differing only in "
+                                f"{name!r} collide in the cache",
+                            )
+                        )
+            findings.extend(self._check_token_overrides(module, node))
+        return findings
+
+    def _check_token_overrides(
+        self, module: ModuleContext, node: ast.ClassDef
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for method in iter_methods(node):
+            if method.name not in ("token", "collector_token"):
+                continue
+            calls_super = False
+            uses_params = False
+            for child in ast.walk(method):
+                if isinstance(child, ast.Call):
+                    name = dotted_name(child.func)
+                    if name == "super":
+                        calls_super = True
+                    elif name is not None and name.split(".")[-1] in (
+                        "params",
+                        "fields",
+                        "token",
+                        "collector_token",
+                        "astuple",
+                        "asdict",
+                    ):
+                        uses_params = True
+            if not (calls_super or uses_params):
+                findings.append(
+                    self.finding(
+                        module,
+                        method,
+                        f"{node.name}.{method.name} neither delegates to "
+                        "super() nor derives from params()/fields(); "
+                        "hand-rolled keys silently drop new fields",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class ScoringFieldsRule(Rule):
+    """scoring_fields entries must name real dataclass fields."""
+
+    id = "cache-key-scoring-fields"
+    summary = "scoring_fields entry names no dataclass field"
+    hint = (
+        "scoring_fields entries must match annotated dataclass fields of "
+        "the spec (they are subtracted from collector_token); fix the "
+        "name or remove the entry"
+    )
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        classes = _measure_spec_classes(module.tree)
+        by_name = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in classes:
+            fields = _inherited_fields(node, by_name)
+            for stmt in node.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                targets = [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                if "scoring_fields" not in targets:
+                    continue
+                if not isinstance(stmt.value, (ast.Tuple, ast.List)):
+                    continue
+                for element in stmt.value.elts:
+                    if not (
+                        isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ):
+                        continue
+                    if element.value not in fields:
+                        findings.append(
+                            self.finding(
+                                module,
+                                element,
+                                f"{node.name}.scoring_fields names "
+                                f"{element.value!r}, which is not an "
+                                "annotated dataclass field of the spec",
+                            )
+                        )
+        return findings
+
+
+@register_rule
+class KeyVersionRule(Rule):
+    """Key builders must fold a ``*_VERSION`` constant into the key."""
+
+    id = "cache-key-version"
+    summary = "key builder does not reference a *_VERSION constant"
+    hint = (
+        "fold an integer *_VERSION module constant into the key payload "
+        "(e.g. repr((EVAL_VERSION, ...))) so key-shape changes can be "
+        "invalidated by bumping it"
+    )
+
+    def check(self, module: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        version_values: dict[str, ast.Assign] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and target.id.endswith("_VERSION"):
+                    version_values[target.id] = stmt
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in _KEY_BUILDER_NAMES:
+                continue
+            referenced = {
+                child.id
+                for child in ast.walk(node)
+                if isinstance(child, ast.Name) and child.id.endswith("_VERSION")
+            }
+            if not referenced:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{node.name}() builds a cache key without "
+                        "referencing any *_VERSION constant",
+                    )
+                )
+                continue
+            for name in sorted(referenced):
+                assign = version_values.get(name)
+                if assign is None:
+                    continue  # imported constant: defined elsewhere
+                value = assign.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                    and not isinstance(value.value, bool)
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            assign,
+                            f"{name} must be a literal int so bumps are "
+                            "reviewable; found a computed value",
+                        )
+                    )
+        return findings

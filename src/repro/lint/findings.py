@@ -1,0 +1,46 @@
+"""Findings model for :mod:`repro.lint`.
+
+A finding pins one contract violation to a file:line, names the rule
+that fired, and carries the rule's fix hint so reports are actionable
+without opening the rule source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.hint:
+            record["hint"] = self.hint
+        if self.suppressed:
+            record["suppressed"] = True
+        return record
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.suppressed:
+            text += "  (suppressed)"
+        return text

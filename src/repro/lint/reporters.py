@@ -1,0 +1,45 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.runner import LintResult
+
+
+def render_text(result: "LintResult", *, show_suppressed: bool = False) -> str:
+    """Human-readable report: one line per finding, hint indented."""
+
+    lines: list[str] = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(finding.render())
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    active = len(result.active_findings)
+    summary = (
+        f"{result.files_checked} file(s) checked, {active} finding(s)"
+    )
+    if result.suppressed_count:
+        summary += f", {result.suppressed_count} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+
+    payload = {
+        "files_checked": result.files_checked,
+        "rules": result.rule_ids,
+        "findings": [f.to_dict() for f in result.findings if not f.suppressed],
+        "suppressed": [f.to_dict() for f in result.findings if f.suppressed],
+        "counts": {
+            "findings": len(result.active_findings),
+            "suppressed": result.suppressed_count,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,160 @@
+"""File discovery and rule execution for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.lint.base import RULE_REGISTRY, ModuleContext, Rule
+from repro.lint.findings import Finding
+from repro.lint.suppress import collect_suppressions, is_suppressed
+from repro.utils.errors import ReproError
+
+#: Pseudo-rule id for files that do not parse; never suppressible.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rule_ids: list[str] = field(default_factory=list)
+
+    @property
+    def active_findings(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(1 for f in self.findings if f.suppressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.active_findings
+
+
+def discover_files(paths: list[str]) -> list[str]:
+    """Python files under ``paths``, sorted, skipping ``__pycache__``."""
+
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise ReproError(f"lint path does not exist: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    files.append(os.path.join(dirpath, filename))
+    # De-duplicate while keeping deterministic order.
+    seen: set[str] = set()
+    unique: list[str] = []
+    for path in sorted(files):
+        real = os.path.realpath(path)
+        if real not in seen:
+            seen.add(real)
+            unique.append(path)
+    return unique
+
+
+def _display_path(path: str) -> str:
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # pragma: no cover - different drive on windows
+        relative = path
+    if relative.startswith(".."):
+        relative = path
+    return relative.replace(os.sep, "/")
+
+
+def select_rules(rule_ids: list[str] | None) -> list[Rule]:
+    """Instantiate the requested rules (all registered rules by default)."""
+
+    if rule_ids:
+        unknown = sorted(set(rule_ids) - set(RULE_REGISTRY))
+        if unknown:
+            known = ", ".join(sorted(RULE_REGISTRY))
+            raise ReproError(
+                f"unknown lint rule(s): {', '.join(unknown)} (known: {known})"
+            )
+        selected = sorted(set(rule_ids))
+    else:
+        selected = sorted(RULE_REGISTRY)
+    return [RULE_REGISTRY[rule_id]() for rule_id in selected]
+
+
+def lint_paths(
+    paths: list[str], rule_ids: list[str] | None = None
+) -> LintResult:
+    """Run the selected rules over every Python file under ``paths``."""
+
+    # Rule modules register on import; make sure they have been imported
+    # even when callers reach this function directly.
+    import repro.lint  # noqa: F401  (registration side effect)
+
+    rules = select_rules(rule_ids)
+    files = discover_files(paths)
+    result = LintResult(rule_ids=[rule.id for rule in rules])
+    for path in files:
+        display = _display_path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise ReproError(f"cannot read {display}: {error}") from error
+        result.files_checked += 1
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as error:
+            result.findings.append(
+                Finding(
+                    path=display,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    rule=SYNTAX_ERROR_RULE,
+                    message=f"file does not parse: {error.msg}",
+                    hint="fix the syntax error; no other rule ran on this file",
+                )
+            )
+            continue
+        module = ModuleContext(
+            path=path,
+            display=display,
+            source=source,
+            tree=tree,
+            suppressions=collect_suppressions(source),
+        )
+        for rule in rules:
+            if not rule.applies(module):
+                continue
+            for finding in rule.check(module):
+                result.findings.append(
+                    _apply_suppression(module.suppressions, finding)
+                )
+    for rule in rules:
+        result.findings.extend(rule.finish())
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def _apply_suppression(
+    suppressions: dict[int, set[str]], finding: Finding
+) -> Finding:
+    if is_suppressed(suppressions, finding.line, finding.rule):
+        return Finding(
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            rule=finding.rule,
+            message=finding.message,
+            hint=finding.hint,
+            suppressed=True,
+        )
+    return finding

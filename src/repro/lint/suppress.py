@@ -1,0 +1,52 @@
+"""Inline suppression comments: ``# repro: ignore[rule-id]``.
+
+A finding is suppressed when the flagged line carries a trailing
+comment of the form::
+
+    risky_thing()  # repro: ignore[rule-id] -- why this is fine
+
+Multiple ids separate with commas inside the brackets.  Parsing uses
+:mod:`tokenize` so string literals that merely *contain* the marker
+text never count, and each suppression binds to the exact physical
+line its comment starts on.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s*-]+)\]")
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of suppressed rule ids for ``source``."""
+
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _IGNORE_RE.search(token.string)
+            if match is None:
+                continue
+            rule_ids = {part.strip() for part in match.group(1).split(",")}
+            rule_ids.discard("")
+            if rule_ids:
+                suppressions.setdefault(token.start[0], set()).update(rule_ids)
+    except tokenize.TokenizeError:  # pragma: no cover - source already parsed by ast
+        pass
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str]], line: int, rule_id: str
+) -> bool:
+    """True when ``rule_id`` (or the wildcard ``*``) is ignored on ``line``."""
+
+    ids = suppressions.get(line)
+    if not ids:
+        return False
+    return rule_id in ids or "*" in ids

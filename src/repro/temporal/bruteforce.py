@@ -239,7 +239,7 @@ def bruteforce_component_sizes(
         while queue:
             node = queue.pop()
             size += 1
-            for neighbour in adjacency[node]:
+            for neighbour in sorted(adjacency[node]):
                 if neighbour not in seen:
                     seen.add(neighbour)
                     queue.append(neighbour)

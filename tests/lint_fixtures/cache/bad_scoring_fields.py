@@ -1,0 +1,16 @@
+"""Fixture: scoring_fields naming a field that does not exist."""
+
+from dataclasses import dataclass
+
+from repro.engine import MeasureSpec
+
+
+@dataclass(frozen=True)
+class ScoredMeasure(MeasureSpec):
+    bins: int = 16
+
+    scoring_fields = ("bin_count",)
+
+    @property
+    def name(self) -> str:
+        return "scored"

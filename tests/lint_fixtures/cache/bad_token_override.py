@@ -1,0 +1,17 @@
+"""Fixture: hand-rolled token() that will drop any field added later."""
+
+from dataclasses import dataclass
+
+from repro.engine import MeasureSpec
+
+
+@dataclass(frozen=True)
+class HandRolledMeasure(MeasureSpec):
+    scale: float = 1.0
+
+    def token(self) -> tuple:
+        return ("hand-rolled", self.scale)
+
+    @property
+    def name(self) -> str:
+        return "hand_rolled"

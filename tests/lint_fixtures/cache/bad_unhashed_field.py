@@ -1,0 +1,16 @@
+"""Fixture: the PR-4 bug shape — a parameter that escapes the cache key."""
+
+from dataclasses import dataclass
+
+from repro.engine import MeasureSpec
+
+
+@dataclass(frozen=True)
+class ShadowComponentsMeasure(MeasureSpec):
+    min_size: int = 1
+
+    include_isolated = False  # plain attr: invisible to token()
+
+    @property
+    def name(self) -> str:
+        return "shadow_components"

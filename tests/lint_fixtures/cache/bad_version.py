@@ -1,0 +1,13 @@
+"""Fixture: key builders without a reviewable *_VERSION constant."""
+
+import hashlib
+
+COMPUTED_VERSION = 1 + 2
+
+
+def cache_key(task) -> str:
+    return hashlib.sha256(repr(task).encode()).hexdigest()
+
+
+def measure_key(task) -> str:
+    return hashlib.sha256(repr((COMPUTED_VERSION, task)).encode()).hexdigest()

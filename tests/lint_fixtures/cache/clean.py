@@ -1,0 +1,27 @@
+"""Fixture: a measure and key builder that satisfy every cache-key rule."""
+
+import hashlib
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.engine import MeasureSpec
+
+KEY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WellKeyedMeasure(MeasureSpec):
+    bins: int = 16
+    top_k: int = 3
+
+    scans = True
+    scoring_fields = ("top_k",)
+    _table: ClassVar[dict] = {}
+
+    @property
+    def name(self) -> str:
+        return "well_keyed"
+
+
+def cache_key(task) -> str:
+    return hashlib.sha256(repr((KEY_VERSION, task)).encode()).hexdigest()

@@ -1,0 +1,9 @@
+"""Fixture: a collector that sharded scans cannot reassemble."""
+
+
+class LonelyCollector:
+    def __init__(self) -> None:
+        self.values: list = []
+
+    def record(self, trip) -> None:
+        self.values.append(trip)

@@ -1,0 +1,18 @@
+"""Fixture: merge() builds a fresh collector instead of folding in place."""
+
+
+class RebuildingCollector:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def record(self, trip) -> None:
+        self.count += 1
+
+    def merge(self, other) -> "RebuildingCollector":
+        merged = RebuildingCollector()
+        merged.count = self.count + other.count
+        return merged
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0

@@ -1,0 +1,23 @@
+"""Fixture: the full collector contract, satisfied."""
+
+from typing import Protocol
+
+
+class CollectorProtocol(Protocol):
+    def record(self, trip) -> None: ...
+
+
+class WellBehavedCollector:
+    def __init__(self) -> None:
+        self.count = 0
+
+    def record(self, trip) -> None:
+        self.count += 1
+
+    def merge(self, other) -> "WellBehavedCollector":
+        self.count += other.count
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0

@@ -1,0 +1,19 @@
+"""Fixture: float accumulation inside an integer-exact collector."""
+
+
+class MeanDurationCollector:
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def record(self, trip) -> None:
+        self.total += trip.duration / max(trip.hops, 1)
+        self.count += 1
+
+    def merge(self, other) -> None:
+        self.total += other.total
+        self.count += other.count
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0

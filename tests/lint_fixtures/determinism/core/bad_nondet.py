@@ -1,0 +1,12 @@
+"""Fixture: process-local state folded into an evaluation path."""
+
+import random
+import time
+
+
+def jitter() -> float:
+    return random.random() + time.time()
+
+
+def identity_key(obj) -> int:
+    return id(obj)

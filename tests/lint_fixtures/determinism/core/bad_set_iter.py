@@ -1,0 +1,14 @@
+"""Fixture: set iteration leaking hash order into results."""
+
+
+def flatten(groups: dict[int, set[int]]) -> list[int]:
+    out: list[int] = []
+    for key in sorted(groups):
+        for member in groups[key]:
+            out.append(member)
+    return out
+
+
+def first_three() -> list[int]:
+    candidates = {3, 1, 2}
+    return [value for value in candidates][:3]

@@ -1,0 +1,33 @@
+"""Fixture: the deterministic shapes of the same operations."""
+
+import time
+
+
+def flatten(groups: dict[int, set[int]]) -> list[int]:
+    out: list[int] = []
+    for key in sorted(groups):
+        for member in sorted(groups[key]):
+            out.append(member)
+    return out
+
+
+def elapsed(start: float) -> float:
+    return time.monotonic() - start
+
+
+class SumDurationCollector:
+    def __init__(self) -> None:
+        self.total = 0
+        self.count = 0
+
+    def record(self, trip) -> None:
+        self.total += int(trip.duration)
+        self.count += 1
+
+    def merge(self, other) -> None:
+        self.total += other.total
+        self.count += other.count
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0

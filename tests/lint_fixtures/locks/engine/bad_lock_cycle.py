@@ -1,0 +1,31 @@
+"""Fixture: two classes taking each other's locks in opposite orders."""
+
+import threading
+
+
+class AlphaRegistry:
+    def __init__(self, beta) -> None:
+        self._lock = threading.Lock()
+        self.beta = beta
+
+    def alpha_forward(self) -> None:
+        with self._lock:
+            self.beta.beta_backward()
+
+    def alpha_touch(self) -> None:
+        with self._lock:
+            pass
+
+
+class BetaRegistry:
+    def __init__(self, alpha) -> None:
+        self._lock = threading.Lock()
+        self.alpha = alpha
+
+    def beta_backward(self) -> None:
+        with self._lock:
+            pass
+
+    def beta_poke(self) -> None:
+        with self._lock:
+            self.alpha.alpha_touch()

@@ -1,0 +1,15 @@
+"""Fixture: private state written without the instance lock."""
+
+import threading
+
+
+class RacyCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._last = None
+
+    def bump(self, value) -> None:
+        self._count += 1
+        with self._lock:
+            self._last = value

@@ -1,0 +1,18 @@
+"""Fixture: disciplined locking — writes under the lock, helpers *_locked."""
+
+import threading
+
+
+class TidyCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+        self._last = None
+
+    def bump(self, value) -> None:
+        with self._lock:
+            self._bump_locked(value)
+
+    def _bump_locked(self, value) -> None:
+        self._count += 1
+        self._last = value

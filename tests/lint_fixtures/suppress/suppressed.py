@@ -1,0 +1,6 @@
+"""Fixture: an inline suppression silencing a real finding."""
+
+
+class QuietProbe:  # repro: ignore[collector-contract] -- demo: not a shard collector
+    def record(self, trip) -> None:
+        return None

@@ -1,0 +1,5 @@
+"""Fixture: a file that does not parse."""
+
+
+def broken(:
+    pass
