@@ -10,6 +10,11 @@ Quickstart::
     result = occupancy_method(stream)
     print(result.describe())      # the saturation scale gamma
 
+Every scan-backed quantity above runs on the batched backward-scan
+kernel by default; ``REPRO_SCAN_KERNEL=legacy`` (or
+``scan_series(..., kernel="legacy")``) switches to the per-source
+reference loop — bit-identical, just slower — see *Scan kernels* below.
+
 Contributing code?  ``repro lint src/repro`` checks the project
 invariants described below before the test suite ever runs.
 
@@ -119,6 +124,33 @@ excluded from shard-entry identity).  Registered measures run
 everywhere built-ins do — fused tasks, all backends, within-Δ sharding,
 per-measure caching, ``analyze_stream``, the CLI — with bit-identical
 results by construction.
+
+Scan kernels
+------------
+The backward reachability scan — the ``O(nM)`` engine every measure
+rides — ships two interchangeable kernels
+(:func:`repro.temporal.scan_series`, ``kernel=`` /
+``REPRO_SCAN_KERNEL``):
+
+* ``batched`` (the default) vectorizes each window across *all* source
+  rows at once: the ``(arrival, hops)`` state stays packed into single
+  int64 lexicographic keys for the whole scan, segment minima run as
+  bucketed padded gathers, and collectors/accumulators are fed whole
+  batches (``record_batch`` / ``observe_rows``, with a per-source
+  adapter for consumers that only implement the classic protocol).
+* ``legacy`` is the original one-Python-iteration-per-source loop,
+  kept selectable as the in-tree oracle.
+
+Both kernels are **bit-identical** — same trips in the same order, same
+collector and accumulator state, across directed/undirected input,
+``targets`` shards, ``include_self``, and every backend — so the kernel
+choice is deliberately *not* part of any cache key, and caches warmed
+by either kernel serve the other.  Reach for ``legacy`` when auditing a
+result against the reference implementation, when bisecting a suspected
+kernel bug (``benchmarks/bench_ablation_scan_kernel.py`` pins the >= 3x
+speedup *and* the equivalence), or from third-party consumers that want
+the strict one-``record``-call-per-source feeding order without the
+batch adapter in between.
 
 Engine & caching
 ----------------

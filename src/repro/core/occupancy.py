@@ -82,6 +82,28 @@ class OccupancyCollector:
             idx = np.minimum((interior * self._bins).astype(np.int64), self._bins - 1)
             np.add.at(self._counts, idx, 1)
 
+    def record_batch(
+        self,
+        sources: np.ndarray,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Consume one multi-source batch (the batched kernel's feed).
+
+        Every per-trip quantity here (the ``hops/durations`` division,
+        the exact atom at 1, the bin index) is elementwise and every
+        tally an integer count, so folding the flattened batch is
+        bit-identical to the per-source :meth:`record` calls — in exact
+        mode the chunk list concatenates to the same value sequence
+        (rows arrive in legacy source-then-destination order).
+        """
+        if not targets.size:
+            return
+        self.record(-1, dep, targets, arrivals, hops, durations)
+
     def merge(self, other: "OccupancyCollector") -> "OccupancyCollector":
         """Absorb another collector's mass (in-place; returns ``self``).
 

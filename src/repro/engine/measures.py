@@ -72,7 +72,12 @@ with defaults), and register it::
 The collector must implement the scan's consumer protocol (``record``
 for trip collectors, ``observe_row``/``close_run`` — optionally
 ``begin`` — for state accumulators) plus in-place ``merge`` and
-``empty`` when the measure should shard.  ``finalize`` must fold into
+``empty`` when the measure should shard.  Collectors may additionally
+implement the batched feeds (``record_batch`` / ``observe_rows``) to
+receive whole windows from the batched scan kernel in one call;
+without them the kernel adapts back to per-source ``record`` /
+per-row ``observe_row`` calls in the classic order, so plain
+collectors keep working unchanged.  ``finalize`` must fold into
 *fresh* accumulators: shard collectors may live in the sweep cache,
 which must stay pristine.
 """

@@ -42,13 +42,24 @@ def window_index(
 
 
 def _dedup_rows(
-    step: np.ndarray, u: np.ndarray, v: np.ndarray, num_nodes: int
+    step: np.ndarray, u: np.ndarray, v: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Keep one row per distinct ``(step, u, v)``."""
+    """Keep one row per distinct ``(step, u, v)``, lexsorted.
+
+    Deduplicates column-wise rather than through a packed composite key
+    ``(step * n + u) * n + v``: that key silently wraps int64 once
+    ``num_steps * n**2`` exceeds 2**63, at which point distinct rows can
+    collide (dropped edges) or equal rows can land apart (surviving
+    duplicates).  ``np.lexsort`` + neighbor comparison needs no products,
+    so it is exact for any ``num_steps``/``num_nodes``.
+    """
     if not step.size:
         return step, u, v
-    key = (step * num_nodes + u) * num_nodes + v
-    __, keep = np.unique(key, return_index=True)
+    order = np.lexsort((v, u, step))
+    step, u, v = step[order], u[order], v[order]
+    keep = np.empty(step.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = (step[1:] != step[:-1]) | (u[1:] != u[:-1]) | (v[1:] != v[:-1])
     return step[keep], u[keep], v[keep]
 
 
@@ -89,7 +100,7 @@ def aggregate(
         v = np.where(swap, stream.sources, stream.targets)
     else:
         u, v = stream.sources, stream.targets
-    steps, u, v = _dedup_rows(steps, u.copy(), v.copy(), stream.num_nodes)
+    steps, u, v = _dedup_rows(steps, u.copy(), v.copy())
     return GraphSeries(
         stream.num_nodes,
         num_steps,
@@ -226,7 +237,7 @@ def aggregate_overlapping(
     steps = np.repeat(first, counts) + _ragged_offsets(counts)
     u = np.repeat(stream.sources, counts)
     v = np.repeat(stream.targets, counts)
-    steps, u, v = _dedup_rows(steps, u, v, stream.num_nodes)
+    steps, u, v = _dedup_rows(steps, u, v)
     return GraphSeries(
         stream.num_nodes,
         num_steps,
@@ -361,7 +372,7 @@ def aggregate_adaptive(
     boundaries.append(float(stream.t_max) + terminal_pad)
     num_steps = current_step + 1
     dedup_steps, u, v = _dedup_rows(
-        steps, stream.sources.copy(), stream.targets.copy(), num_nodes
+        steps, stream.sources.copy(), stream.targets.copy()
     )
     series = GraphSeries(
         num_nodes,

@@ -71,9 +71,17 @@ class GraphSeries:
         self._step = step[order]
         self._u = u[order]
         self._v = v[order]
-        if self._step.size:
-            key = (self._step * num_nodes + self._u) * num_nodes + self._v
-            if np.any(np.diff(key) == 0):
+        if self._step.size > 1:
+            # Compare columns directly: a packed (step * n + u) * n + v key
+            # wraps int64 for large num_steps * n**2 and can then miss (or
+            # invent) duplicates.  Rows are lexsorted, so duplicates are
+            # adjacent.
+            dup = (
+                (np.diff(self._step) == 0)
+                & (np.diff(self._u) == 0)
+                & (np.diff(self._v) == 0)
+            )
+            if np.any(dup):
                 raise AggregationError("duplicate (step, u, v) rows in series")
         self._num_nodes = int(num_nodes)
         self._num_steps = int(num_steps)

@@ -1,8 +1,8 @@
 """Collector-contract rules.
 
-Anything with a ``record`` method feeds the backward scan, and the
-within-Δ sharding layer (PR 2) may split its input across workers and
-fold the shards back together.  That only reassembles bit-identically
+Anything with a ``record`` (or batched ``record_batch``) method feeds
+the backward scan, and the within-Δ sharding layer (PR 2) may split its
+input across workers and fold the shards back together.  That only reassembles bit-identically
 when every collector also implements in-place ``merge`` and exposes
 ``empty`` so zero-trip shards can be recognized — the parity gaps
 PR 2 and PR 4 closed by hand on ``OccupancyCollector`` and
@@ -38,7 +38,10 @@ def _collector_classes(tree: ast.Module) -> list[ast.ClassDef]:
             continue
         if _is_protocol(node):
             continue
-        if any(method.name == "record" for method in iter_methods(node)):
+        if any(
+            method.name in ("record", "record_batch")
+            for method in iter_methods(node)
+        ):
             classes.append(node)
     return classes
 
@@ -59,12 +62,13 @@ class CollectorContractRule(Rule):
         findings: list[Finding] = []
         for node in _collector_classes(module.tree):
             methods = {method.name: method for method in iter_methods(node)}
+            feed = "record" if "record" in methods else "record_batch"
             if "merge" not in methods:
                 findings.append(
                     self.finding(
                         module,
                         node,
-                        f"{node.name} defines record() but no merge(); "
+                        f"{node.name} defines {feed}() but no merge(); "
                         "sharded scans cannot reassemble it",
                     )
                 )
@@ -73,7 +77,7 @@ class CollectorContractRule(Rule):
                     self.finding(
                         module,
                         node,
-                        f"{node.name} defines record() but no `empty` "
+                        f"{node.name} defines {feed}() but no `empty` "
                         "property; zero-trip shards are undetectable",
                     )
                 )

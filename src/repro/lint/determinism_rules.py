@@ -228,7 +228,16 @@ class FloatAccumulationRule(_DeterminismRule):
         "accumulate integer numerators and divide once in finalize"
     )
 
-    _HOT_METHODS = frozenset({"record", "merge", "observe_row", "close_run"})
+    _HOT_METHODS = frozenset(
+        {
+            "record",
+            "record_batch",
+            "merge",
+            "observe_row",
+            "observe_rows",
+            "close_run",
+        }
+    )
 
     def check(self, module: ModuleContext) -> list[Finding]:
         findings: list[Finding] = []
@@ -236,7 +245,11 @@ class FloatAccumulationRule(_DeterminismRule):
             if not isinstance(node, ast.ClassDef):
                 continue
             method_names = {m.name for m in iter_methods(node)}
-            if not ({"record", "merge"} <= method_names):
+            # A collector is anything mergeable that ingests trips — via
+            # the per-source record() or the batched record_batch() feed.
+            if "merge" not in method_names:
+                continue
+            if not ({"record", "record_batch"} & method_names):
                 continue
             for method in iter_methods(node):
                 if method.name not in self._HOT_METHODS:

@@ -19,6 +19,7 @@ from repro.temporal.collectors import (
     CountingCollector,
     TripCollector,
     TripListCollector,
+    record_batch_fallback,
     trip_priorities,
 )
 from repro.temporal.paths import (
@@ -27,6 +28,10 @@ from repro.temporal.paths import (
     temporal_path_is_valid,
 )
 from repro.temporal.reachability import (
+    SCAN_BATCHES,
+    SCAN_KERNELS,
+    SCAN_ROWS,
+    SCAN_WINDOWS,
     DistanceStats,
     DistanceTotals,
     EarliestArrivalAccumulator,
@@ -47,8 +52,13 @@ __all__ = [
     "CountingCollector",
     "ChainCollector",
     "trip_priorities",
+    "record_batch_fallback",
     "scan_series",
     "scan_stream",
+    "SCAN_KERNELS",
+    "SCAN_ROWS",
+    "SCAN_WINDOWS",
+    "SCAN_BATCHES",
     "series_distance_stats",
     "ScanResult",
     "DistanceStats",

@@ -13,6 +13,17 @@ sibling collector fed from a disjoint destination shard, and an
 legitimately common state for a shard whose nodes receive nothing).
 Merging disjoint shards reproduces exactly what an unsharded scan would
 have collected.
+
+The batched scan kernel feeds collectors whole *multi-source* batches —
+one flattened array set per window chunk — through ``record_batch``,
+with ``sources`` as an array parallel to ``targets`` (rows sorted by
+source, then destination: exactly the order per-source ``record`` calls
+would arrive in).  ``record_batch`` is optional: every built-in
+implements it natively (vectorized, bit-identical to the equivalent
+``record`` calls), and consumers without it are fed through
+:func:`record_batch_fallback`, which re-slices the batch into legacy
+per-source ``record`` calls — so third-party collectors keep working
+unchanged under either kernel.
 """
 
 from __future__ import annotations
@@ -39,6 +50,40 @@ class TripCollector(Protocol):
     ) -> None:
         """Consume one batch of minimal trips departing ``source`` at ``dep``."""
         ...
+
+
+def record_batch_fallback(
+    collector,
+    sources: np.ndarray,
+    dep: float,
+    targets: np.ndarray,
+    arrivals: np.ndarray,
+    hops: np.ndarray,
+    durations: np.ndarray,
+) -> None:
+    """Feed a multi-source batch to a ``record``-only collector.
+
+    The adapter behind the batched kernel's consumer feed: slices the
+    flattened batch back into one ``record`` call per source, in the
+    order the rows arrive (sources nondecreasing — the legacy kernel's
+    emission order), so a collector that never heard of ``record_batch``
+    sees byte-for-byte the same call sequence the legacy kernel makes.
+    """
+    if not sources.size:
+        return
+    starts = np.flatnonzero(
+        np.concatenate([[True], sources[1:] != sources[:-1]])
+    )
+    ends = np.append(starts[1:], sources.size)
+    for lo, hi in zip(starts, ends):
+        collector.record(
+            int(sources[lo]),
+            dep,
+            targets[lo:hi],
+            arrivals[lo:hi],
+            hops[lo:hi],
+            durations[lo:hi],
+        )
 
 
 def _mix64(values: np.ndarray) -> np.ndarray:
@@ -138,6 +183,39 @@ class TripListCollector:
         self.hops_total += int(hops.sum())
         self.duration_total += durations.sum().item()
         self._u.append(np.full(count, source, dtype=np.int64))
+        self._v.append(targets.copy())
+        self._dep.append(np.full(count, dep))
+        self._arr.append(arrivals.copy())
+        self._hops.append(hops.copy())
+        self._dur.append(durations.copy())
+        self._retained += count
+        self._maybe_compact()
+
+    def record_batch(
+        self,
+        sources: np.ndarray,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Consume one multi-source batch (the batched kernel's feed).
+
+        Appends the whole batch as one chunk.  Bit-identical to the
+        per-source :meth:`record` calls of
+        :func:`record_batch_fallback`: the totals are integer sums and
+        the retained set is a pure function of the trip multiset (the
+        bottom-``max_trips`` priority sketch), so batch boundaries never
+        show in :meth:`trips`.
+        """
+        count = targets.size
+        if not count:
+            return
+        self.num_recorded += count
+        self.hops_total += int(hops.sum())
+        self.duration_total += durations.sum().item()
+        self._u.append(sources.astype(np.int64, copy=True))
         self._v.append(targets.copy())
         self._dep.append(np.full(count, dep))
         self._arr.append(arrivals.copy())
@@ -248,6 +326,26 @@ class CountingCollector:
         self.max_hops = max(self.max_hops, int(hops.max()))
         self.max_duration = max(self.max_duration, float(durations.max()))
 
+    def record_batch(
+        self,
+        sources: np.ndarray,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Consume one multi-source batch (the batched kernel's feed).
+
+        Counts and maxima are order-free, so one batch fold is trivially
+        identical to the per-source calls.
+        """
+        if not targets.size:
+            return
+        self.num_trips += targets.size
+        self.max_hops = max(self.max_hops, int(hops.max()))
+        self.max_duration = max(self.max_duration, float(durations.max()))
+
     def merge(self, other: "CountingCollector") -> "CountingCollector":
         """Absorb another collector's tallies (in-place; returns ``self``)."""
         self.num_trips += other.num_trips
@@ -300,6 +398,28 @@ class ChainCollector:
     ) -> None:
         for collector in self._collectors:
             collector.record(source, dep, targets, arrivals, hops, durations)
+
+    def record_batch(
+        self,
+        sources: np.ndarray,
+        dep: float,
+        targets: np.ndarray,
+        arrivals: np.ndarray,
+        hops: np.ndarray,
+        durations: np.ndarray,
+    ) -> None:
+        """Fan one multi-source batch out to every child — natively when
+        the child implements ``record_batch``, through
+        :func:`record_batch_fallback` (per-source ``record`` calls in
+        legacy order) otherwise."""
+        for collector in self._collectors:
+            record_batch = getattr(collector, "record_batch", None)
+            if record_batch is not None:
+                record_batch(sources, dep, targets, arrivals, hops, durations)
+            else:
+                record_batch_fallback(
+                    collector, sources, dep, targets, arrivals, hops, durations
+                )
 
     def merge(self, other: "ChainCollector") -> "ChainCollector":
         """Absorb another chain child-by-child (in-place; returns ``self``).

@@ -29,6 +29,40 @@ raw link stream by treating each distinct timestamp as a window and
 switching the duration convention from ``arr - dep + 1`` (window counts)
 to ``arr - dep`` (Definition 4).
 
+Scan kernels
+------------
+Two kernels implement the identical per-window update rule:
+
+* ``batched`` (the default) — every source-row update within a window is
+  independent by construction (continuation reads come from the
+  pre-window stash, never from intra-window writes), so the kernel
+  vectorizes across sources.  It keeps each ``(A, H)`` cell packed into
+  a single int64 lexicographic key ``A * K + H`` for the *whole* scan
+  (``K`` and the infinity sentinel are analytic scan-wide constants:
+  arrivals are window indices and no minimal trip exceeds ``num_steps``
+  hops), so one vectorized minimum over the packed keys — segment minima
+  via size-bucketed padded gathers over the hop rows sorted by source —
+  selects the earliest arrival with the fewest-hops tie-break for free.
+  Direct-hop arrivals scatter in one shot and all updated rows commit
+  with a single fancy-indexed write; rows unpack back into ``(A, H)``
+  only where a consumer looks at them.  The staged ``(hops × width)``
+  working set is chunked (whole sources per chunk) to bound memory.
+  Consumers are fed in batch too: collectors via ``record_batch`` and
+  accumulators via ``observe_rows`` when they implement them, through a
+  per-source adapter loop otherwise — so third-party consumers keep
+  working unchanged.
+* ``legacy`` — the original per-source Python loop, kept selectable as
+  the in-tree oracle.
+
+Both kernels are bit-identical — same trips in the same order, same
+collector states, same accumulator sums — across directed/undirected
+input, ``targets`` shards, ``include_self``, and every backend, so the
+kernel is *not* part of any cache key.  Select it per call
+(``scan_series(series, kernel="legacy")``) or process-wide via
+``REPRO_SCAN_KERNEL=batched|legacy``.  :data:`SCAN_ROWS`,
+:data:`SCAN_WINDOWS` and :data:`SCAN_BATCHES` tally how much work each
+kernel did (per process), next to the pass counter :data:`SCAN_COUNTS`.
+
 One scan, many measures
 -----------------------
 :func:`scan_series` accepts a *set* of consumers and feeds them all from
@@ -73,6 +107,7 @@ its columns.  Sharded scans therefore merge back bit-identically for
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
@@ -93,6 +128,56 @@ HOP_INF = np.iinfo(np.int64).max // 4
 #: these counters; they are plain tallies with no behavioural effect
 #: (each worker process keeps its own).
 SCAN_COUNTS = {"series": 0, "stream": 0}
+#: Per-kernel work tallies (same no-behaviour caveats as
+#: :data:`SCAN_COUNTS`): ``SCAN_ROWS`` counts source-row updates,
+#: ``SCAN_WINDOWS`` nonempty windows processed, and ``SCAN_BATCHES``
+#: state commits — one per chunk for the batched kernel, one per row for
+#: the legacy loop.  Tests and benches assert how much work a scan did,
+#: not just that one happened: the two kernels must agree on rows and
+#: windows while ``batched`` commits in far fewer batches.
+SCAN_ROWS = {"batched": 0, "legacy": 0}
+SCAN_WINDOWS = {"batched": 0, "legacy": 0}
+SCAN_BATCHES = {"batched": 0, "legacy": 0}
+
+#: The kernels selectable by ``scan_series(kernel=...)`` and the
+#: ``REPRO_SCAN_KERNEL`` environment variable.
+SCAN_KERNELS = ("batched", "legacy")
+
+#: Upper bound on the cells (hop rows × state width) the batched kernel
+#: stages per chunk; chunks always hold whole sources.  At int64 this
+#: bounds each staged continuation matrix near 8 MB.  Overridable via
+#: ``REPRO_SCAN_BATCH_CELLS`` (tests force tiny budgets to exercise the
+#: multi-chunk path; the value never affects results, only peak memory).
+BATCH_CELL_BUDGET = 1 << 20
+
+
+def _resolve_kernel(kernel: str | None) -> str:
+    """Validate an explicit kernel choice or read ``REPRO_SCAN_KERNEL``."""
+    if kernel is None:
+        kernel = os.environ.get("REPRO_SCAN_KERNEL", "") or "batched"
+    if kernel not in SCAN_KERNELS:
+        raise ValidationError(
+            f"unknown scan kernel {kernel!r}; expected one of {SCAN_KERNELS}"
+        )
+    return kernel
+
+
+def _batch_cell_budget() -> int:
+    """The chunk budget, env-overridable (minimum one row's width)."""
+    override = os.environ.get("REPRO_SCAN_BATCH_CELLS", "")
+    if override:
+        try:
+            budget = int(override)
+        except ValueError:
+            raise ValidationError(
+                f"REPRO_SCAN_BATCH_CELLS must be an integer, got {override!r}"
+            ) from None
+        if budget < 1:
+            raise ValidationError(
+                f"REPRO_SCAN_BATCH_CELLS must be positive, got {budget}"
+            )
+        return budget
+    return BATCH_CELL_BUDGET
 
 
 @dataclass(frozen=True)
@@ -175,6 +260,34 @@ class DistanceTotals:
         if self_col >= 0:
             old_finite[self_col] = False
             new_finite[self_col] = False
+        self.S += int(new_A[new_finite].sum()) - int(old_A[old_finite].sum())
+        self.C += int(new_finite.sum()) - int(old_finite.sum())
+        self.SH += int(new_H[new_finite].sum()) - int(old_H[old_finite].sum())
+
+    def observe_rows(
+        self,
+        sources: np.ndarray,
+        step: int,
+        old_A: np.ndarray,
+        old_H: np.ndarray,
+        new_A: np.ndarray,
+        new_H: np.ndarray,
+        self_cols: np.ndarray,
+    ) -> None:
+        """Vectorized :meth:`observe_row` over one batch of source rows.
+
+        ``old_A``/``old_H``/``new_A``/``new_H`` are ``(len(sources),
+        width)`` matrices, ``self_cols`` the per-row diagonal column
+        (-1 where the target restriction excludes the row's node).  The
+        totals are sums of exact integers, so folding the whole batch at
+        once is bit-identical to per-row :meth:`observe_row` calls.
+        """
+        old_finite = old_A < INT_INF
+        new_finite = new_A < INT_INF
+        diag_rows = np.flatnonzero(self_cols >= 0)
+        if diag_rows.size:
+            old_finite[diag_rows, self_cols[diag_rows]] = False
+            new_finite[diag_rows, self_cols[diag_rows]] = False
         self.S += int(new_A[new_finite].sum()) - int(old_A[old_finite].sum())
         self.C += int(new_finite.sum()) - int(old_finite.sum())
         self.SH += int(new_H[new_finite].sum()) - int(old_H[old_finite].sum())
@@ -354,6 +467,44 @@ class EarliestArrivalAccumulator:
         self._H[source] = new_H
         self._row_hi[source] = k
 
+    def observe_rows(
+        self,
+        sources: np.ndarray,
+        step: int,
+        old_A: np.ndarray,
+        old_H: np.ndarray,
+        new_A: np.ndarray,
+        new_H: np.ndarray,
+        self_cols: np.ndarray,
+    ) -> None:
+        """Vectorized :meth:`observe_row` over one batch of source rows.
+
+        Folds every row's outgoing values over its pending departure run
+        ``[step + 1, row_hi]`` in one closed-form pass (all integer
+        arithmetic, so bit-identical to per-row folding), then mirrors
+        the whole batch.  ``sources`` are unique within a window by
+        construction, so the fancy-indexed ``+=`` never collides.
+        """
+        k = int(step)
+        t_hi = self._row_hi[sources]
+        run_len = t_hi - k  # run [k + 1, t_hi] has t_hi - k steps
+        active = run_len > 0
+        finite = (old_A < INT_INF) & active[:, None]
+        if finite.any():
+            run = run_len[:, None]
+            t_total = ((k + 1 + t_hi) * run_len // 2)[:, None]
+            # Mask *before* multiplying: run * INT_INF would wrap int64.
+            a = np.where(finite, old_A, 0)
+            h = np.where(finite, old_H, 0)
+            self.reach_steps[sources] += np.where(finite, run, 0)
+            self.dist_sum[sources] += np.where(
+                finite, run * (a + 1) - t_total, 0
+            )
+            self.hops_sum[sources] += np.where(finite, run * h, 0)
+        self._A[sources] = new_A
+        self._H[sources] = new_H
+        self._row_hi[sources] = k
+
     def close_run(self, t_low: int, t_high: int) -> None:
         """No-op: folding happens row-wise (see the class docstring)."""
 
@@ -439,6 +590,11 @@ def _process_group(
 ) -> int:
     """Apply one window's hops to the state; returns trips recorded.
 
+    The **legacy** kernel: one Python iteration per source row, kept
+    selectable (``kernel="legacy"``) as the in-tree oracle for the
+    batched kernel (:func:`_process_group_batched`) and still used by
+    :func:`scan_stream`.
+
     ``us``/``vs`` are directed hops (already expanded for undirected
     input), deduplicated within the group.  All continuation reads come
     from a pre-window stash so intra-window updates never chain.  Every
@@ -459,6 +615,9 @@ def _process_group(
     stash_A = A[involved].copy()
     stash_H = H[involved].copy()
     trips_recorded = 0
+    SCAN_WINDOWS["legacy"] += 1
+    SCAN_ROWS["legacy"] += sources.size
+    SCAN_BATCHES["legacy"] += sources.size
 
     for i in range(sources.size):
         u = int(sources[i])
@@ -522,6 +681,234 @@ def _process_group(
     return trips_recorded
 
 
+def _chunk_bounds(seg_sizes: np.ndarray, max_rows: int) -> np.ndarray:
+    """Greedy chunking of source segments: as many whole segments per
+    chunk as fit ``max_rows`` hop rows (always at least one).
+
+    Returns the chunk boundaries as indices into the segment list
+    (length ``num_chunks + 1``, starting 0, ending ``seg_sizes.size``).
+    """
+    cum = np.cumsum(seg_sizes)
+    bounds = [0]
+    while bounds[-1] < seg_sizes.size:
+        lo = bounds[-1]
+        base = int(cum[lo - 1]) if lo else 0
+        hi = int(np.searchsorted(cum, base + max_rows, side="right"))
+        bounds.append(max(hi, lo + 1))
+    return np.asarray(bounds, dtype=np.int64)
+
+
+def _unpack_rows(
+    P_rows: np.ndarray, K: int, a_inf: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack packed-key rows back into ``(A, H)`` with the sentinels
+    restored.  Committed infinite cells are always the canonical
+    ``a_inf * K + (K - 1)`` (never the incremented ``(a_inf + 1) * K``
+    candidate form, which loses every lexicographic minimum against it),
+    so the fixup mask is exactly ``A == a_inf``.
+    """
+    A = P_rows // K
+    H = P_rows - A * K
+    infinite = A == a_inf
+    A[infinite] = INT_INF
+    H[infinite] = HOP_INF
+    return A, H
+
+
+def _process_group_batched(
+    P: np.ndarray,
+    K: int,
+    a_inf: int,
+    time_value,
+    us: np.ndarray,
+    vs: np.ndarray,
+    collectors: list,
+    include_self: bool,
+    duration_extra,
+    accumulators: list,
+    col_of: np.ndarray | None = None,
+    cols: np.ndarray | None = None,
+) -> int:
+    """Apply one window's hops to the packed state; returns trips
+    recorded.  Bit-identical to :func:`_process_group`.
+
+    ``P`` is the scan state with each ``(arrival, hop)`` pair packed
+    into a single int64 lexicographic key ``A * K + H`` — ``K`` above
+    every finite hop the scan can produce, ``a_inf`` above every window
+    index, infinite cells at the ``a_inf * K + (K - 1)`` sentinel.  The
+    state stays packed across the whole scan (:func:`scan_series` picks
+    the caps analytically and unpacks rows only on demand), so a window
+    costs one stash gather and one commit write instead of separate
+    arrival/hop passes.
+
+    Within a window, every source-row update is independent: all
+    continuation reads come from the pre-window stash, never from
+    intra-window writes.  So instead of looping sources in Python, the
+    kernel sorts the hops by source once, takes every segment minimum of
+    the packed keys in one pass — arrival first, hop tie-break for free
+    — scatters every direct-hop arrival at once, and commits all updated
+    source rows with a single fancy-indexed write.  The segment minima
+    themselves use size-bucketed padded gathers reduced along the pad
+    axis (a ``np.minimum.reduceat``-style segment reduction, but
+    vectorizable: reduceat's scalar inner loop is several times slower
+    per cell); padding repeats each segment's first row, which is
+    idempotent under ``min``.  Trip collectors are fed one flattened
+    batch per chunk (``record_batch`` when they implement it) and
+    accumulators one row-matrix batch (``observe_rows``); consumers
+    without the batch methods fall back to their per-source/per-row
+    protocol in exactly the legacy order.
+
+    The staged working set — up to ``(hops × width)`` continuation cells,
+    inflated at most 50% by pad rows — is chunked over whole sources
+    (:func:`_chunk_bounds`) so a dense window on a wide state never
+    materializes much more than the cell budget at once.  Chunking
+    cannot change results: chunks hold whole sources, and sources are
+    independent.
+    """
+    from repro.temporal.collectors import record_batch_fallback
+
+    order = np.argsort(us, kind="stable")
+    us = us[order]
+    vs = vs[order]
+    sources, starts = np.unique(us, return_index=True)
+    ends = np.append(starts[1:], us.size)
+    involved = np.unique(np.concatenate([sources, vs]))
+    # Fancy indexing already copies: this is the pre-window stash.
+    stash_P = P[involved]
+    width = P.shape[1]
+
+    seg_sizes = ends - starts
+    max_rows = max(_batch_cell_budget() // max(width, 1), 1)
+    bounds = _chunk_bounds(seg_sizes, max_rows)
+    w_pos = np.searchsorted(involved, vs)
+    trips_recorded = 0
+    SCAN_WINDOWS["batched"] += 1
+    SCAN_ROWS["batched"] += sources.size
+    SCAN_BATCHES["batched"] += bounds.size - 1
+
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        row_lo = starts[lo]
+        row_hi = ends[hi - 1]
+        chunk_vs = vs[row_lo:row_hi]
+        chunk_sources = sources[lo:hi]
+        chunk_w_pos = w_pos[row_lo:row_hi]
+        rel_starts = starts[lo:hi] - row_lo
+        sizes = seg_sizes[lo:hi]
+        nseg = hi - lo
+        # Segment minima of the packed keys: bucket segments by size
+        # class (1, 2, 3, 4, 6, 9, ... — a 1.5x progression bounds pad
+        # waste at 50%), gather each bucket padded to its class width —
+        # repeating the first row, min-idempotent — and reduce along the
+        # pad axis in one vectorized sweep per bucket.
+        P_cand = np.empty((nseg, width), dtype=np.int64)
+        pending = np.ones(nseg, dtype=bool)
+        k = 1
+        while pending.any():
+            sel = np.flatnonzero(pending & (sizes <= k))
+            if sel.size:
+                if k == 1:
+                    P_cand[sel] = stash_P[chunk_w_pos[rel_starts[sel]]]
+                else:
+                    pad = np.minimum(
+                        np.arange(k, dtype=np.int64), sizes[sel][:, None] - 1
+                    )
+                    rows_idx = rel_starts[sel][:, None] + pad
+                    P_cand[sel] = stash_P[chunk_w_pos[rows_idx]].min(axis=1)
+                pending[sel] = False
+            k = k + 1 if k < 4 else k * 3 // 2
+        # The continuation costs one more hop: with H < K packed in the
+        # low digit, + 1 increments the hop component alone.  All-
+        # infinite segments carry (a_inf * K + K - 1) + 1 = (a_inf + 1)
+        # * K, which still sorts above every real candidate and the
+        # stashed infinity — exactly legacy's never-committed
+        # HOP_INF + 1.
+        P_cand += 1
+        # A direct hop arrives at the current window itself, always
+        # earlier than any continuation (which departs at the *next*
+        # window).  (source, target) pairs are unique within a window,
+        # so the scatter never collides.
+        seg_ids = np.repeat(np.arange(nseg, dtype=np.int64), sizes)
+        direct = time_value * K + 1
+        if col_of is None:
+            P_cand[seg_ids, chunk_vs] = direct
+        else:
+            tpos = col_of[chunk_vs]
+            keep = tpos >= 0
+            P_cand[seg_ids[keep], tpos[keep]] = direct
+
+        # Compare and commit entirely in key space: `candidate < floor`
+        # (floor = the old keys' arrival component alone) is legacy's
+        # `arr < old_A` — strict arrival improvement, the trip-record
+        # condition, independent of either hop count — and the
+        # lexicographic minimum with the old keys is legacy's
+        # improved/tie-better selection: a tie on arrival resolves to
+        # the smaller hop via the low digit.
+        u_pos = np.searchsorted(involved, chunk_sources)
+        old_P = stash_P[u_pos]
+        old_floor = old_P // K
+        old_floor *= K
+        improved = P_cand < old_floor
+        new_P = np.minimum(P_cand, old_P, out=P_cand)
+        P[chunk_sources] = new_P
+
+        if col_of is None:
+            self_cols = chunk_sources
+        else:
+            self_cols = col_of[chunk_sources]
+        if accumulators:
+            old_A, old_H = _unpack_rows(old_P, K, a_inf)
+            new_A, new_H = _unpack_rows(new_P, K, a_inf)
+            for accumulator in accumulators:
+                observe_rows = getattr(accumulator, "observe_rows", None)
+                if observe_rows is not None:
+                    observe_rows(
+                        chunk_sources, time_value, old_A, old_H, new_A,
+                        new_H, self_cols,
+                    )
+                else:
+                    # Per-row adapter: third-party accumulators keep
+                    # their observe_row protocol, fed in legacy
+                    # (source) order.
+                    for i in range(chunk_sources.size):
+                        accumulator.observe_row(
+                            int(chunk_sources[i]), time_value, old_A[i],
+                            old_H[i], new_A[i], new_H[i],
+                            int(self_cols[i]),
+                        )
+
+        record = improved  # dead after the commit: safe to mutate
+        if not include_self:
+            diag_rows = np.flatnonzero(self_cols >= 0)
+            if diag_rows.size:
+                record[diag_rows, self_cols[diag_rows]] = False
+        # C-order nonzero: rows ascending, columns ascending within a
+        # row — exactly the legacy source-by-source emission order.
+        row_idx, col_idx = np.nonzero(record)
+        trips_recorded += row_idx.size
+        if collectors and row_idx.size:
+            trip_sources = chunk_sources[row_idx]
+            # Recorded cells improved, hence are finite: unpacking the
+            # gathered keys needs no sentinel fixup.
+            cells = new_P[row_idx, col_idx]
+            arrivals = cells // K
+            hops_out = cells - arrivals * K
+            node_targets = col_idx if cols is None else cols[col_idx]
+            durations = arrivals - time_value + duration_extra
+            for collector in collectors:
+                record_batch = getattr(collector, "record_batch", None)
+                if record_batch is not None:
+                    record_batch(
+                        trip_sources, time_value, node_targets, arrivals,
+                        hops_out, durations,
+                    )
+                else:
+                    record_batch_fallback(
+                        collector, trip_sources, time_value, node_targets,
+                        arrivals, hops_out, durations,
+                    )
+    return trips_recorded
+
+
 def _target_columns(
     targets, num_nodes: int
 ) -> tuple[np.ndarray | None, np.ndarray | None, int]:
@@ -553,6 +940,7 @@ def scan_series(
     *,
     include_self: bool = False,
     targets: np.ndarray | None = None,
+    kernel: str | None = None,
 ) -> ScanResult:
     """Run the backward scan over a graph series.
 
@@ -582,8 +970,15 @@ def scan_series(
         in ``targets`` — the primitive behind within-Δ sharding.  A
         restricted :class:`DistanceTotals` holds partial sums; merge the
         shards before calling :meth:`~DistanceTotals.stats`.
+    kernel:
+        ``"batched"`` (the default), ``"legacy"``, or ``None`` to read
+        ``REPRO_SCAN_KERNEL``.  Both kernels are bit-identical (see the
+        module docstring's *Scan kernels* section), so the choice never
+        enters a cache key; ``legacy`` is the in-tree oracle the batched
+        kernel is verified against.
     """
     SCAN_COUNTS["series"] += 1
+    batched = _resolve_kernel(kernel) == "batched"
     n = series.num_nodes
     collectors, accumulators = _split_consumers(collector)
     cols, col_of, width = _target_columns(targets, n)
@@ -593,8 +988,22 @@ def scan_series(
         begin = getattr(accumulator, "begin", None)
         if begin is not None:
             begin(n, series.num_steps, cols)
-    A = np.full((n, width), INT_INF, dtype=np.int64)
-    H = np.full((n, width), HOP_INF, dtype=np.int64)
+    # Analytic packing caps for the batched kernel: arrivals and window
+    # indices are < num_steps, and no minimal trip can take more than
+    # num_steps hops (each hop departs one window later).  Both caps are
+    # scan-wide constants, so the state stays packed for the whole scan.
+    # Were the packed keys ever to overflow int64 (num_steps near 2**31),
+    # the whole scan falls back to the legacy kernel — bit-identical by
+    # contract — and is tallied as legacy work.
+    a_inf = max(int(series.num_steps), 1)
+    K = a_inf + 2
+    if a_inf + 2 > (1 << 62) // K:
+        batched = False
+    if batched:
+        P = np.full((n, width), a_inf * K + (K - 1), dtype=np.int64)
+    else:
+        A = np.full((n, width), INT_INF, dtype=np.int64)
+        H = np.full((n, width), HOP_INF, dtype=np.int64)
 
     num_trips = 0
     last_processed: int | None = None
@@ -608,10 +1017,16 @@ def scan_series(
                 accumulator.close_run(step + 1, last_processed)
         if not series.directed:
             u, v = _expand_undirected(u, v)
-        num_trips += _process_group(
-            A, H, step, u, v, collectors, include_self, 1, accumulators,
-            col_of, cols,
-        )
+        if batched:
+            num_trips += _process_group_batched(
+                P, K, a_inf, step, u, v, collectors, include_self, 1,
+                accumulators, col_of, cols,
+            )
+        else:
+            num_trips += _process_group(
+                A, H, step, u, v, collectors, include_self, 1,
+                accumulators, col_of, cols,
+            )
         last_processed = step
 
     if accumulators and last_processed is not None:
@@ -686,6 +1101,13 @@ def scan_stream(
     (Section 8).  ``collector`` accepts one trip collector or a sequence
     of them; state accumulators are series-only (the closed-form run
     folding assumes integer window indices).
+
+    Stream scans always run the legacy per-source kernel: float
+    timestamps make trip durations float, and a batched collector feed
+    would sum them in a different association order than per-source
+    ``record`` calls — the one case where batching is not bit-exact.
+    Series scans (integer window indices, integer durations) are where
+    the hot sweeps live; they default to the batched kernel.
     """
     SCAN_COUNTS["stream"] += 1
     n = stream.num_nodes

@@ -7,3 +7,13 @@ class LonelyCollector:
 
     def record(self, trip) -> None:
         self.values.append(trip)
+
+
+class BatchOnlyCollector:
+    """Batched feed without merge/empty — just as unshardable."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def record_batch(self, sources, dep, targets, arrivals, hops, durations) -> None:
+        self.count += targets.size

@@ -17,3 +17,23 @@ class MeanDurationCollector:
     @property
     def empty(self) -> bool:
         return self.count == 0
+
+
+class BatchedMeanCollector:
+    """Same defect through the batched feed: float += in record_batch."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def record_batch(self, sources, dep, targets, arrivals, hops, durations) -> None:
+        self.total += durations.sum() / 2.0
+        self.count += targets.size
+
+    def merge(self, other) -> None:
+        self.total += other.total
+        self.count += other.count
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0

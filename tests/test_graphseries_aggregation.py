@@ -153,3 +153,64 @@ class TestAdaptiveAggregation:
         stream = LinkStream([0, 1], [1, 2], [5, 5], num_nodes=3)
         __, boundaries = aggregate_adaptive(stream, probe=1.0)
         assert boundaries[-1] == 6.0
+
+
+class TestDedupOverflow:
+    """Regression: the old composite dedup key ``(step*n + u)*n + v`` wrapped
+    int64 once ``num_steps * n**2`` crossed 2**63, silently merging distinct
+    rows whose keys collided mod 2**64."""
+
+    # With n = 2**21 nodes, rows (step=0, u=0, v=1) and (step=2**22, u=0,
+    # v=1) have composite keys 1 and 2**64 + 1, which are identical mod
+    # 2**64 — the old code deduplicated them into one row.
+    N = 2 ** 21
+    STEP = 2 ** 22
+
+    def test_dedup_keeps_colliding_rows(self):
+        from repro.graphseries.aggregation import _dedup_rows
+
+        step = np.array([0, self.STEP], dtype=np.int64)
+        u = np.array([0, 0], dtype=np.int64)
+        v = np.array([1, 1], dtype=np.int64)
+        ds, du, dv = _dedup_rows(step.copy(), u.copy(), v.copy())
+        assert ds.tolist() == [0, self.STEP]
+        assert du.tolist() == [0, 0]
+        assert dv.tolist() == [1, 1]
+
+    def test_dedup_still_removes_true_duplicates(self):
+        from repro.graphseries.aggregation import _dedup_rows
+
+        step = np.array([3, 0, 3], dtype=np.int64)
+        u = np.array([1, 0, 1], dtype=np.int64)
+        v = np.array([2, 1, 2], dtype=np.int64)
+        ds, du, dv = _dedup_rows(step, u, v)
+        assert list(zip(ds.tolist(), du.tolist(), dv.tolist())) == [
+            (0, 0, 1),
+            (3, 1, 2),
+        ]
+
+    def test_series_accepts_colliding_distinct_rows(self):
+        from repro.graphseries.series import GraphSeries
+
+        # The old duplicate check in GraphSeries.__init__ used the same
+        # packed key and rejected these distinct rows as duplicates.
+        series = GraphSeries(
+            self.N,
+            self.STEP + 1,
+            np.array([0, self.STEP], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+        )
+        assert series.num_edges_total == 2
+
+    def test_series_still_rejects_true_duplicates(self):
+        from repro.graphseries.series import GraphSeries
+
+        with pytest.raises(AggregationError):
+            GraphSeries(
+                self.N,
+                self.STEP + 1,
+                np.array([5, 5], dtype=np.int64),
+                np.array([0, 0], dtype=np.int64),
+                np.array([1, 1], dtype=np.int64),
+            )

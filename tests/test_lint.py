@@ -79,14 +79,26 @@ class TestRuleFamiliesFire:
 
     def test_float_accumulation_in_collector(self):
         result = fixture_findings("determinism", "core", "bad_float_accum.py")
-        assert [f.rule for f in result.active_findings] == ["float-accumulation"]
+        assert [f.rule for f in result.active_findings] == [
+            "float-accumulation",
+            "float-accumulation",
+        ]
+        flagged = " ".join(f.message for f in result.active_findings)
+        # Both the per-source and the batched feed are hot methods.
+        assert "MeanDurationCollector.record" in flagged
+        assert "BatchedMeanCollector.record_batch" in flagged
 
     def test_collector_contract(self):
         result = fixture_findings("collector", "bad_collector.py")
         assert [f.rule for f in result.active_findings] == [
             "collector-contract",
             "collector-contract",
+            "collector-contract",
+            "collector-contract",
         ]
+        flagged = " ".join(f.message for f in result.active_findings)
+        # record_batch-only collectors are held to the same contract.
+        assert "BatchOnlyCollector defines record_batch()" in flagged
 
     def test_collector_merge_inplace(self):
         result = fixture_findings("collector", "bad_merge_returns_new.py")
