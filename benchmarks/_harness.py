@@ -12,6 +12,7 @@ series (and persists it under ``results/``).  Scales:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -48,10 +49,23 @@ def hours(seconds: float) -> float:
     return seconds / HOUR
 
 
-def emit(capsys, name: str, text: str) -> None:
-    """Print a report through pytest's capture and persist it."""
+def emit(capsys, name: str, text: str, data: dict | None = None) -> None:
+    """Print a report through pytest's capture and persist it.
+
+    The rendered text lands in ``results/{name}.txt``; when ``data`` is
+    given, a machine-readable record additionally lands in
+    ``results/BENCH_{name}.json`` (scale included) — the artifact CI
+    uploads so perf series can be tracked across commits without
+    scraping tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        payload = {"bench": name, "scale": bench_scale(), **data}
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     with capsys.disabled():
         print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
         print(text)

@@ -10,6 +10,14 @@ Quickstart::
     result = occupancy_method(stream)
     print(result.describe())      # the saturation scale gamma
 
+    # The stream grew?  Append in order (index triples) and re-analyze —
+    # cached prefix aggregations splice and checkpointed scans resume,
+    # so only the appended suffix is recomputed (bit-identical to
+    # from-scratch; see *Streaming appends* below):
+    a, c = stream.index_of("a"), stream.index_of("c")
+    grown = stream.extend([(a, c, 9)])
+    print(occupancy_method(grown).describe())
+
 Every scan-backed quantity above runs on the batched backward-scan
 kernel by default; ``REPRO_SCAN_KERNEL=legacy`` (or
 ``scan_series(..., kernel="legacy")``) switches to the per-source
@@ -207,6 +215,52 @@ their shard spec in the cache key, and merged per-measure results are
 stored under the ordinary measure keys, so sharded and unsharded runs
 warm each other.
 
+Streaming appends
+-----------------
+Link streams are observed, not designed — they *grow*.  Re-analyzing
+after every batch of new events from scratch costs the full ``O(nM)``
+scan each time, even though everything before the append point is
+untouched.  The append pipeline makes growth incremental end to end:
+
+* **Append-only extension.**  ``stream.extend(events)`` (triples or
+  three arrays) returns a new stream whose arrays are bit-identical to
+  a from-scratch build over the concatenated events.  Every appended
+  timestamp must be strictly greater than ``t_max`` —
+  :class:`~repro.utils.errors.AppendOrderError` otherwise — which is
+  exactly what keeps the old events a literal prefix of the new arrays.
+* **Prefix-aware fingerprints.**  The grown stream records its
+  ancestry on ``fingerprint_chain`` (one ``(num_events, fingerprint)``
+  entry per append), and ``prefix_fingerprint(k)`` recovers any
+  recorded time-prefix's content hash without rehashing events.  Cache
+  keys stay purely content-derived.
+* **Spliced aggregation.**  A warm per-Δ series for the base stream is
+  reused verbatim: :func:`~repro.graphseries.aggregate_prefix_extended`
+  re-windows only the appended suffix and splices it onto the cached
+  prefix — bit-identical to aggregating the grown stream whole.
+* **Settled-boundary scan resume.**  The backward scan checkpoints its
+  packed per-window state at ~``sqrt(num_windows)`` boundaries (memory
+  capped, ``REPRO_CHECKPOINT_MAX_BYTES``).  On re-analysis after an
+  append, the scan restarts from the new end and stops at the first
+  checkpoint whose incoming state matches the recorded one — the
+  *settled boundary* — splicing every earlier window's collector and
+  accumulator contributions from the recorded segment spans.  Dense
+  appends settle after roughly the appended windows plus one
+  checkpoint stride; a zero-event append performs zero scans.
+
+The engine drives all of this through
+:class:`~repro.engine.IncrementalScanSession`, a process-wide
+content-keyed store (``REPRO_INCREMENTAL_MAX_BYTES`` caps it;
+``REPRO_INCREMENTAL=0`` disables reuse entirely, ``repro cache stats``
+reports it) — so a warm sweep on a grown stream re-scans only the
+unsettled windows of each Δ, on either scan kernel, sharded or not,
+with results bit-identical to a cold run
+(``benchmarks/bench_ablation_incremental_append.py`` pins the >= 3x
+wall-clock win, the counter-verified work bounds, and the equivalence).
+The daemon exposes the same pipeline over HTTP: ``POST /v1/append``
+(CLI: ``repro append FINGERPRINT events.tsv``) extends a registered
+stream into a new registered stream with lineage, so streaming sources
+can feed a warm service and every re-analysis stays incremental.
+
 Serving analyses
 ----------------
 Every one-shot ``repro analyze`` pays process startup and cold caches.
@@ -271,7 +325,8 @@ gating job next to the tests:
   the ``empty`` property, or shard reassembly silently drops its
   state.  Rules: ``collector-contract``, ``collector-merge-inplace``.
 * **Lock discipline.**  In ``engine/`` and ``service/`` (the daemon of
-  PR 5), a lock-owning class writes its private state only inside
+  PR 5) — and in ``tests/``, whose lock-owning doubles model those
+  classes — a lock-owning class writes its private state only inside
   ``with self.<lock>:`` (or ``__init__``; helpers called with the lock
   held are named ``*_locked``), and the cross-module lock-acquisition
   order must be acyclic.  Rules: ``unlocked-attribute-write``,
@@ -297,7 +352,7 @@ from repro.engine import SweepCache, SweepEngine
 from repro.graphseries import GraphSeries, Snapshot, aggregate
 from repro.linkstream import IntervalStream, LinkStream
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "LinkStream",

@@ -62,7 +62,9 @@ from repro.engine import (
     available_backends,
     available_measures,
     cache_max_bytes_from_env,
+    clear_incremental_store,
     describe_measures,
+    incremental_stats,
     parse_measures_arg,
     plan_measure_sweep,
 )
@@ -257,8 +259,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries: {stats['entries']}")
         print(f"size: {stats['bytes']} bytes")
         print(f"size cap: {cap}")
+        inc = incremental_stats()
+        print(
+            f"incremental store (this process): {inc['streams']} streams, "
+            f"{inc['scan_records']} scan records, {inc['nbytes']} bytes "
+            f"(cap {inc['max_bytes']})"
+        )
     else:  # clear
         removed = store.clear()
+        clear_incremental_store()
         print(f"removed {removed} cached results from {store.directory}")
     return 0
 
@@ -357,6 +366,60 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"job {job['job_id']}: {job['state']}{coalesced}")
     print(f"stream {fingerprint}")
     print(f"fetch with: repro fetch {job['job_id']} --url {args.url}")
+    return 0
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    """Stream an event batch into a registered stream on the daemon.
+
+    Events are sent as parsed ``[u, v, t]`` triples; node fields that
+    parse as integers are sent as indices, anything else as labels for
+    the daemon to resolve against the registered stream.  Timestamps
+    keep their integer-ness so appends onto integer-timestamped streams
+    stay integer.
+    """
+
+    def node(field: str):
+        try:
+            return int(field)
+        except ValueError:
+            return field
+
+    def timestamp(field: str):
+        try:
+            return int(field)
+        except ValueError:
+            return float(field)
+
+    sep = "," if args.format == "csv" else None
+    order = args.columns.split()
+    events = []
+    with open(args.events, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [f.strip() for f in line.split(sep)]
+            if len(fields) < len(order):
+                raise ReproError(
+                    f"{args.events}:{lineno}: expected columns "
+                    f"{args.columns!r}, got {len(fields)} fields"
+                )
+            record = dict(zip(order, fields))
+            events.append(
+                [node(record["u"]), node(record["v"]), timestamp(record["t"])]
+            )
+    response = ServiceClient(args.url).append(args.fingerprint, events)
+    print(f"stream {response['fingerprint']}")
+    print(f"parent {response['parent']}")
+    print(
+        f"appended {response['appended']} events "
+        f"({response['num_events']} total, {response['num_nodes']} nodes)"
+    )
+    print(
+        f"analyze with: repro submit --url {args.url} ... or the "
+        f"new fingerprint above"
+    )
     return 0
 
 
@@ -628,6 +691,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to offline 'repro analyze')",
     )
     submit.set_defaults(func=_cmd_submit)
+
+    append_cmd = sub.add_parser(
+        "append",
+        help="append an event batch to a stream registered on a running "
+        "daemon (warm incremental re-analysis)",
+    )
+    append_cmd.add_argument(
+        "fingerprint", help="registered stream fingerprint (from submit)"
+    )
+    append_cmd.add_argument("events", help="event file holding the batch to append")
+    append_cmd.add_argument(
+        "--columns", default="u v t", help="column order (default: 'u v t')"
+    )
+    append_cmd.add_argument("--format", choices=("tsv", "csv"), default="tsv")
+    add_client_options(append_cmd)
+    append_cmd.set_defaults(func=_cmd_append)
 
     status = sub.add_parser("status", help="poll a submitted job")
     status.add_argument("job", nargs="?", default=None, help="job id (default: list every job)")

@@ -137,6 +137,18 @@ class OccupancyCollector:
         self._num_trips += other._num_trips
         return self
 
+    def segment_handoff(self) -> "OccupancyCollector":
+        """Freeze this collector as a scan segment; return its successor.
+
+        The checkpoint contract of incremental scan resume (see
+        :meth:`TripListCollector.segment_handoff
+        <repro.temporal.collectors.TripListCollector.segment_handoff>`):
+        all occupancy tallies are order-free integer folds, so the
+        successor is simply a fresh collector with the same histogram
+        geometry, and cached segments splice back via :meth:`merge`.
+        """
+        return OccupancyCollector(bins=self._bins, exact=self._exact)
+
     @property
     def empty(self) -> bool:
         """Whether the collector holds no trips yet.

@@ -32,6 +32,10 @@ content-addressed :class:`~repro.engine.cache.SweepCache`:
 * :mod:`repro.engine.jobs` — :class:`JobQueue`, bounded asynchronous
   job execution with admission control, per-job deadlines, and request
   coalescing (the analysis service's core);
+* :mod:`repro.engine.incremental` — warm-append reuse: per-stream
+  spliced aggregations and checkpointed scan records that let an
+  appended stream's evaluation rescan only the unsettled suffix,
+  bit-identically (:class:`IncrementalScanSession`);
 * :mod:`repro.engine.cache` — layered memory/disk result store keyed on
   the stream fingerprint plus the task parameters;
 * :mod:`repro.engine.scheduler` — :class:`SweepEngine`, the cache-aware
@@ -111,6 +115,12 @@ from repro.engine.measures import (
     resolve_measure,
     unregister_measure,
 )
+from repro.engine.incremental import (
+    INCREMENTAL_COUNTS,
+    IncrementalScanSession,
+    clear_incremental_store,
+    incremental_stats,
+)
 from repro.engine.tasks import (
     AnalysisShardResult,
     AnalysisShardTask,
@@ -172,6 +182,10 @@ __all__ = [
     "Job",
     "JobQueue",
     "EngineFuture",
+    "IncrementalScanSession",
+    "INCREMENTAL_COUNTS",
+    "incremental_stats",
+    "clear_incremental_store",
     "SweepCache",
     "CacheStore",
     "MemoryStore",

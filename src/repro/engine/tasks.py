@@ -46,9 +46,8 @@ from repro.engine.measures import (
     SeriesGeometry,
     normalize_measures,
 )
-from repro.graphseries.aggregation import aggregate_cached
+from repro.engine.incremental import IncrementalScanSession
 from repro.linkstream.stream import LinkStream
-from repro.temporal.reachability import scan_series
 from repro.utils.errors import EngineError
 
 #: Version of the evaluation numerics baked into every cache key.  Bump
@@ -229,7 +228,16 @@ class AnalysisTask(DeltaTask):
     # -- evaluation --------------------------------------------------------
 
     def evaluate(self, stream: LinkStream) -> dict:
-        series = aggregate_cached(stream, float(self.delta), origin=self.origin)
+        session = IncrementalScanSession(
+            stream,
+            delta=float(self.delta),
+            origin=self.origin,
+            include_self=self.include_self,
+            consumer_tokens=tuple(
+                (m.name, m.collector_token()) for m in self.measures if m.scans
+            ),
+        )
+        series = session.series()
         geometry = SeriesGeometry(
             num_nodes=series.num_nodes,
             num_windows=series.num_steps,
@@ -239,11 +247,7 @@ class AnalysisTask(DeltaTask):
             m.name: m.make_collector() for m in self.measures if m.scans
         }
         if collectors:
-            scan_series(
-                series,
-                list(collectors.values()),
-                include_self=self.include_self,
-            )
+            session.scan(list(collectors.values()))
         return {
             m.name: m.finalize(
                 float(self.delta),
@@ -423,7 +427,17 @@ class AnalysisShardTask(DeltaTask):
         )
 
     def evaluate(self, stream: LinkStream) -> AnalysisShardResult:
-        series = aggregate_cached(stream, float(self.delta), origin=self.origin)
+        session = IncrementalScanSession(
+            stream,
+            delta=float(self.delta),
+            origin=self.origin,
+            include_self=self.include_self,
+            shard=(self.shard_index, self.num_shards),
+            consumer_tokens=tuple(
+                (m.name, m.collector_token()) for m in self.measures if m.scans
+            ),
+        )
+        series = session.series()
         targets = np.arange(
             self.shard_index, series.num_nodes, self.num_shards, dtype=np.int64
         )
@@ -431,12 +445,7 @@ class AnalysisShardTask(DeltaTask):
             m.name: m.make_collector() for m in self.measures if m.scans
         }
         if collectors:
-            scan_series(
-                series,
-                list(collectors.values()),
-                include_self=self.include_self,
-                targets=targets,
-            )
+            session.scan(list(collectors.values()), targets=targets)
         payloads = (
             {
                 m.name: m.series_payload(series)

@@ -26,10 +26,14 @@ from repro.linkstream.stream import LinkStream
 from repro.utils.errors import AggregationError
 
 #: Aggregation instrumentation: how many series this process has
-#: materialized (cache hits served by :func:`aggregate_cached` do not
-#: count).  The measure-fusion tests and benches assert "one aggregation
-#: per Δ" against this tally; it has no behavioural effect.
-AGGREGATION_COUNTS = {"aggregate": 0}
+#: materialized from scratch (``"aggregate"``) and how many were spliced
+#: from a cached prefix after an append (``"incremental"``; these do
+#: *not* bump ``"aggregate"`` — the whole point is that no full
+#: re-windowing happened).  Cache hits served by :func:`aggregate_cached`
+#: count under neither.  The measure-fusion and incremental-append tests
+#: and benches assert against these tallies; they have no behavioural
+#: effect.
+AGGREGATION_COUNTS = {"aggregate": 0, "incremental": 0}
 
 
 def window_index(
@@ -199,6 +203,146 @@ def aggregate_cached(
             event = _SERIES_IN_FLIGHT.pop(key, None)
         if event is not None:
             event.set()
+
+
+def lookup_memoized_series(
+    stream: LinkStream,
+    delta: float,
+    *,
+    origin: float | None = None,
+) -> GraphSeries | None:
+    """The memoized series for ``(stream, Δ, origin)``, or ``None``.
+
+    A read-only probe of the :func:`aggregate_cached` memo that never
+    aggregates on a miss — the incremental-append path uses it to decide
+    between reusing a warm series and splicing one from a cached prefix.
+    """
+    if origin is not None and float(origin) == stream.t_min:
+        origin = None
+    key = (
+        stream.fingerprint(),
+        repr(float(delta)),
+        None if origin is None else repr(float(origin)),
+    )
+    with _SERIES_MEMO_LOCK:
+        series = _SERIES_MEMO.get(key)
+        if series is not None:
+            _SERIES_MEMO.move_to_end(key)
+        return series
+
+
+def memoize_series(
+    stream: LinkStream,
+    delta: float,
+    series: GraphSeries,
+    *,
+    origin: float | None = None,
+) -> None:
+    """Insert a series into the :func:`aggregate_cached` memo.
+
+    The incremental-append path materializes spliced series outside
+    :func:`aggregate_cached`; registering them here under the same
+    content key lets every sibling consumer (shards of one sweep task,
+    validation passes) share the splice exactly as they would share a
+    from-scratch aggregation.  Keys are content-derived, so a wrong
+    series cannot be installed for a key without breaking the stream
+    fingerprint itself.
+    """
+    if origin is not None and float(origin) == stream.t_min:
+        origin = None
+    key = (
+        stream.fingerprint(),
+        repr(float(delta)),
+        None if origin is None else repr(float(origin)),
+    )
+    with _SERIES_MEMO_LOCK:
+        _SERIES_MEMO[key] = series
+        _SERIES_MEMO.move_to_end(key)
+        while len(_SERIES_MEMO) > _SERIES_MEMO_MAX:
+            _SERIES_MEMO.popitem(last=False)
+
+
+def aggregate_prefix_extended(
+    stream: LinkStream,
+    delta: float,
+    *,
+    prefix_series: GraphSeries,
+    prefix_events: int,
+    origin: float | None = None,
+) -> GraphSeries:
+    """Aggregate an extended stream by splicing a cached prefix series.
+
+    ``prefix_series`` must be the aggregation (same ``delta``/``origin``)
+    of the stream's first ``prefix_events`` events — the state before an
+    :meth:`~repro.linkstream.stream.LinkStream.extend`.  Appends are
+    strictly time-increasing, so every window entirely before the
+    *straddle window* (the window containing the first appended event)
+    is unchanged: its deduplicated edge rows are taken verbatim from the
+    prefix series, and only events from the straddle window onward are
+    re-windowed and re-deduplicated.  The result is bit-identical to
+    :func:`aggregate` on the full stream — prefix rows and suffix rows
+    occupy disjoint step ranges, so their concatenation is exactly the
+    full lexsorted dedup.
+
+    Counts under ``AGGREGATION_COUNTS["incremental"]`` (not
+    ``"aggregate"``).  Raises :class:`AggregationError` when the prefix
+    series does not match the requested geometry (different Δ, origin,
+    node count, or directedness) — callers fall back to
+    :func:`aggregate`.
+    """
+    if delta <= 0:
+        raise AggregationError(f"window length must be positive, got {delta}")
+    if not 0 < prefix_events < stream.num_events:
+        raise AggregationError(
+            f"prefix of {prefix_events} events cannot splice a stream of "
+            f"{stream.num_events}"
+        )
+    if origin is None:
+        origin = stream.t_min
+    elif origin > stream.t_min:
+        raise AggregationError("origin must not be after the first event")
+    if (
+        prefix_series.num_nodes != stream.num_nodes
+        or prefix_series.directed != stream.directed
+        or prefix_series.delta != float(delta)
+        or prefix_series.origin is None
+        or prefix_series.origin != float(origin)
+    ):
+        raise AggregationError(
+            "prefix series does not match the stream geometry "
+            "(delta/origin/nodes/directedness)"
+        )
+    times = stream.timestamps
+    steps_all = window_index(times, delta, origin)
+    straddle = int(steps_all[prefix_events])
+    # Every appended event is at or after the straddle window, and the
+    # suffix boundary in the *event* arrays is where windows first reach
+    # it (monotone in t) — possibly before the append point, when old
+    # events share the straddle window.
+    lo = int(np.searchsorted(steps_all, straddle, side="left"))
+    AGGREGATION_COUNTS["incremental"] += 1
+    if not stream.directed:
+        swap = stream.sources[lo:] > stream.targets[lo:]
+        u_suffix = np.where(swap, stream.targets[lo:], stream.sources[lo:])
+        v_suffix = np.where(swap, stream.sources[lo:], stream.targets[lo:])
+    else:
+        u_suffix = stream.sources[lo:].copy()
+        v_suffix = stream.targets[lo:].copy()
+    s_suffix, u_suffix, v_suffix = _dedup_rows(
+        steps_all[lo:], u_suffix, v_suffix
+    )
+    cut = int(np.searchsorted(prefix_series.edge_steps, straddle, side="left"))
+    num_steps = int(s_suffix[-1]) + 1 if s_suffix.size else prefix_series.num_steps
+    return GraphSeries(
+        stream.num_nodes,
+        num_steps,
+        np.concatenate([prefix_series.edge_steps[:cut], s_suffix]),
+        np.concatenate([prefix_series.edge_sources[:cut], u_suffix]),
+        np.concatenate([prefix_series.edge_targets[:cut], v_suffix]),
+        directed=stream.directed,
+        delta=float(delta),
+        origin=float(origin),
+    )
 
 
 def aggregate_overlapping(

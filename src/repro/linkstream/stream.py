@@ -16,7 +16,7 @@ from collections.abc import Hashable, Iterable, Iterator
 
 import numpy as np
 
-from repro.utils.errors import LinkStreamError
+from repro.utils.errors import AppendOrderError, LinkStreamError
 
 
 class LinkStream:
@@ -50,6 +50,7 @@ class LinkStream:
         "_distinct_t",
         "_resolution",
         "_fingerprint",
+        "_chain",
     )
 
     def __init__(
@@ -116,10 +117,17 @@ class LinkStream:
         else:
             self._labels = None
         self._label_index = None
-        # Lazy caches: the event arrays are frozen, so these never go stale.
+        # Lazy caches: the event arrays are frozen, so these never go
+        # stale.  extend() never mutates them either — it builds a *new*
+        # stream (whose caches start empty), so staleness cannot leak
+        # across an append.
         self._distinct_t = None
         self._resolution = None
         self._fingerprint = None
+        # Prefix-fingerprint chain: ``(event_count, fingerprint)`` pairs
+        # recorded by extend(), oldest first.  Content-derived streams
+        # start with an empty chain.
+        self._chain = ()
 
     # -- constructors ----------------------------------------------------
 
@@ -306,6 +314,150 @@ class LinkStream:
             digest.update(self._t.tobytes())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    # -- appending -----------------------------------------------------------
+
+    @property
+    def fingerprint_chain(self) -> tuple[tuple[int, str], ...]:
+        """Prefix fingerprints recorded by :meth:`extend`.
+
+        A tuple of ``(event_count, fingerprint)`` pairs, oldest first:
+        one entry per ancestor this stream was grown from, each giving
+        the content fingerprint the stream had when it held exactly
+        ``event_count`` events.  Streams not built by ``extend`` have an
+        empty chain.
+        """
+        return self._chain
+
+    def prefix_fingerprint(self, num_events: int) -> str:
+        """Fingerprint of the stream's first ``num_events`` events.
+
+        Because appends are strictly time-increasing, the first
+        ``num_events`` rows of the (time-sorted) event arrays *are* the
+        historical prefix, so any prefix fingerprint is recoverable
+        without re-sorting.  Boundaries recorded by :meth:`extend` are
+        answered from the chain in O(1); other cuts hash the prefix
+        slices directly.  The prefix is fingerprinted with *this*
+        stream's node count (for chain boundaries the recorded —
+        historically exact — value is returned instead).
+        """
+        if not 0 <= num_events <= self.num_events:
+            raise LinkStreamError(
+                f"prefix of {num_events} events out of range for a stream "
+                f"of {self.num_events}"
+            )
+        if num_events == self.num_events:
+            return self.fingerprint()
+        for count, known in self._chain:
+            if count == num_events:
+                return known
+        digest = hashlib.sha256()
+        digest.update(
+            f"v1|{int(self._directed)}|{self._num_nodes}|{self._t.dtype.str}|".encode()
+        )
+        digest.update(self._u[:num_events].tobytes())
+        digest.update(self._v[:num_events].tobytes())
+        digest.update(self._t[:num_events].tobytes())
+        return digest.hexdigest()
+
+    def extend(self, events, v=None, t=None) -> "LinkStream":
+        """A new stream holding this stream's events plus an appended batch.
+
+        Accepts either an iterable of ``(u, v, t)`` index triples
+        (``stream.extend(events)``) or three parallel arrays
+        (``stream.extend(u, v, t)``).  The append-only contract: every
+        new timestamp must be **strictly greater** than :attr:`t_max`,
+        otherwise :class:`AppendOrderError` is raised — an in-order
+        append keeps the existing events a literal prefix of the new
+        arrays, which is what makes prefix fingerprints, cached
+        aggregations, and checkpointed scan state reusable.
+
+        The returned stream is constructed exactly as a from-scratch
+        build over the concatenated events (bit-identical arrays and
+        fingerprint), and additionally records this stream's
+        ``(num_events, fingerprint)`` on its :attr:`fingerprint_chain`.
+
+        Node handling: appended indices may name new nodes only on
+        unlabeled streams (``num_nodes`` grows; pre-size ``num_nodes``
+        when registering a stream you intend to grow, since a node-set
+        change blocks warm scan resume).  Appending float timestamps to
+        an integer-time stream is rejected — it would flip the time
+        dtype and with it every recorded fingerprint.
+        """
+        if v is None:
+            rows = list(events)
+            u_new = np.asarray([r[0] for r in rows], dtype=np.int64)
+            v_new = np.asarray([r[1] for r in rows], dtype=np.int64)
+            t_new = np.asarray([r[2] for r in rows])
+        else:
+            if t is None:
+                raise LinkStreamError("extend needs either triples or all of u, v, t")
+            u_new = np.asarray(events, dtype=np.int64)
+            v_new = np.asarray(v, dtype=np.int64)
+            t_new = np.asarray(t)
+        if not (u_new.shape == v_new.shape == t_new.shape) or u_new.ndim != 1:
+            raise LinkStreamError("appended u, v, t must be one-dimensional and equal length")
+
+        chain_entry = (self.num_events, self.fingerprint())
+        if not t_new.size:
+            # Empty batch: same content, same fingerprint — but record
+            # the boundary so the append lineage stays explicit.
+            grown = self.copy()
+            grown._chain = self._chain + (chain_entry,)
+            grown._fingerprint = self._fingerprint
+            return grown
+
+        if t_new.dtype.kind not in "iuf":
+            raise LinkStreamError(f"timestamps must be numeric, got dtype {t_new.dtype}")
+        if t_new.dtype.kind == "f" and not np.all(np.isfinite(t_new)):
+            raise LinkStreamError("timestamps must be finite")
+        if self.num_events:
+            if self._t.dtype.kind == "i" and t_new.dtype.kind == "f":
+                raise LinkStreamError(
+                    "cannot append float timestamps to an integer-time stream: "
+                    "the time dtype (part of every fingerprint) would change; "
+                    "rebuild the base stream with float times first"
+                )
+            if not np.all(t_new > self._t[-1]):
+                raise AppendOrderError(
+                    f"appended timestamps must all be strictly greater than "
+                    f"t_max={self.t_max}; got min {np.asarray(t_new).min()}"
+                )
+        if u_new.size:
+            hi = int(max(u_new.max(), v_new.max()))
+            if hi >= self._num_nodes and self._labels is not None:
+                raise LinkStreamError(
+                    f"appended event names node index {hi} but the labeled "
+                    f"stream has only {self._num_nodes} nodes"
+                )
+        if not self.num_events:
+            # Empty base: delegate entirely to the constructor so the
+            # time dtype comes out exactly as a from-scratch build.
+            grown = LinkStream(
+                u_new,
+                v_new,
+                t_new,
+                directed=self._directed,
+                num_nodes=max(self._num_nodes, int(max(u_new.max(), v_new.max())) + 1)
+                if u_new.size
+                else self._num_nodes,
+                labels=self._labels,
+            )
+            grown._chain = self._chain + (chain_entry,)
+            return grown
+        num_nodes = self._num_nodes
+        if u_new.size:
+            num_nodes = max(num_nodes, int(max(u_new.max(), v_new.max())) + 1)
+        grown = LinkStream(
+            np.concatenate([self._u, u_new]),
+            np.concatenate([self._v, v_new]),
+            np.concatenate([self._t, t_new.astype(self._t.dtype)]),
+            directed=self._directed,
+            num_nodes=num_nodes,
+            labels=self._labels,
+        )
+        grown._chain = self._chain + (chain_entry,)
+        return grown
 
     # -- derived streams -----------------------------------------------------
 

@@ -2,7 +2,10 @@
 
 Scope: ``engine/`` and ``service/`` — the job queue, caches, backends
 and the daemon, where one warm process serves many clients and a
-missed lock is a data race on shared sweep state.
+missed lock is a data race on shared sweep state — plus ``tests/``,
+so the lock-owning test doubles (fake backends, counting evaluators,
+service fixtures) honour the same discipline instead of rotting into
+bad examples of it.
 
 Two contracts:
 
@@ -30,7 +33,7 @@ from repro.lint.base import (
 )
 from repro.lint.findings import Finding
 
-_SCOPE = ("engine", "service")
+_SCOPE = ("engine", "service", "tests")
 
 #: Methods assumed to run with the instance lock already held (convention)
 #: or before the instance is shared.

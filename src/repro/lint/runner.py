@@ -36,8 +36,15 @@ class LintResult:
         return not self.active_findings
 
 
+#: Directories never walked into: caches, hidden dirs, and the lint
+#: fixture corpus (files that *deliberately* violate rules; the golden
+#: test lints them by explicit path).
+_SKIP_DIRS = ("__pycache__", "lint_fixtures")
+
+
 def discover_files(paths: list[str]) -> list[str]:
-    """Python files under ``paths``, sorted, skipping ``__pycache__``."""
+    """Python files under ``paths``, sorted, skipping ``__pycache__``
+    and ``lint_fixtures`` corpora."""
 
     files: list[str] = []
     for path in paths:
@@ -48,7 +55,9 @@ def discover_files(paths: list[str]) -> list[str]:
             raise ReproError(f"lint path does not exist: {path}")
         for dirpath, dirnames, filenames in os.walk(path):
             dirnames[:] = sorted(
-                d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+                d
+                for d in dirnames
+                if d not in _SKIP_DIRS and not d.startswith(".")
             )
             for filename in sorted(filenames):
                 if filename.endswith(".py"):

@@ -134,6 +134,22 @@ class ServiceClient:
     def streams(self) -> list[dict]:
         return self._request("GET", "/v1/streams")["streams"]
 
+    def append(self, fingerprint: str, events) -> dict:
+        """Append ``[u, v, t]`` triples to a registered stream.
+
+        Returns the daemon's record for the grown stream —
+        ``{"fingerprint", "parent", "appended", "num_events",
+        "num_nodes"}``.  Analyze the returned fingerprint: the daemon
+        reuses the parent's warm aggregation and scan state, so only
+        the appended suffix is re-examined.  Out-of-order events are
+        rejected (the append-only contract).
+        """
+        return self._request(
+            "POST",
+            "/v1/append",
+            json_body={"fingerprint": fingerprint, "events": list(events)},
+        )
+
     def analyze(
         self,
         fingerprint: str,

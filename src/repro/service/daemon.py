@@ -19,6 +19,11 @@ API sketch (all JSON unless noted)::
                                  query: columns, format, directed
                                  -> {"fingerprint": ...}   (idempotent)
     GET    /v1/streams           registered streams
+    POST   /v1/append            {"fingerprint", "events": [[u, v, t], ...]}
+                                 -> {"fingerprint": grown, "parent": ...};
+                                 the grown stream registers alongside its
+                                 parent and analyses of it reuse the
+                                 parent's warm series and scan state
     POST   /v1/analyze           {"fingerprint", "measures", "num_deltas",
                                   "method", "refine", "validate",
                                   "timeout"} -> 202 {"job_id", ...}
@@ -180,6 +185,60 @@ class AnalysisService:
                 status=404,
             )
         return stream
+
+    def _resolve_node(self, stream: LinkStream, value) -> int:
+        if isinstance(value, bool):
+            raise ServiceError(
+                f"node must be an index or label, got {value!r}", status=400
+            )
+        try:
+            return stream.index_of(value)
+        except ReproError:
+            if isinstance(value, int) and value >= 0:
+                # A node index beyond the current set: unlabeled streams
+                # grow on append (extend rejects growth for labeled ones).
+                return value
+            raise
+
+    def append_events(self, fingerprint: str, events) -> dict:
+        """Append an event batch to a registered stream.
+
+        ``events`` is a list of ``[u, v, t]`` triples; ``u``/``v`` are
+        node labels (for labeled streams) or indices, ``t`` must be
+        strictly later than the stream's last event (the append-only
+        contract — violations map to 400).  The grown stream registers
+        under its own fingerprint *alongside* its parent, whose
+        fingerprint stays valid; because the chained fingerprint links
+        the two, any analysis of the grown stream reuses the parent's
+        warm series, scan checkpoints, and cached sweep results, and
+        only re-examines the appended suffix.  Coalescing is untouched:
+        requests against the new fingerprint coalesce among themselves.
+        """
+        stream = self.stream(fingerprint)
+        rows = []
+        for entry in events:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ServiceError(
+                    "each appended event must be a [u, v, t] triple",
+                    status=400,
+                )
+            u, v, t = entry
+            if not isinstance(t, (int, float)) or isinstance(t, bool):
+                raise ServiceError(
+                    f"timestamp must be a number, got {t!r}", status=400
+                )
+            rows.append(
+                (self._resolve_node(stream, u), self._resolve_node(stream, v), t)
+            )
+        grown = stream.extend(rows)
+        new_fingerprint = self.register_stream(grown)
+        return {
+            "fingerprint": new_fingerprint,
+            "parent": fingerprint,
+            "appended": len(rows),
+            "num_events": grown.num_events,
+            "num_nodes": grown.num_nodes,
+        }
 
     def list_streams(self) -> list[dict]:
         with self._lock:
@@ -471,6 +530,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 directed=query.get("directed", "1") not in ("0", "false", "no"),
             )
             self._send_json(201, {"fingerprint": fingerprint})
+        elif route == ("POST", "append"):
+            payload = self._read_json()
+            fingerprint = payload.get("fingerprint")
+            if not fingerprint:
+                raise ServiceError("missing 'fingerprint'", status=400)
+            events = payload.get("events")
+            if not isinstance(events, list):
+                raise ServiceError(
+                    "missing 'events' (a list of [u, v, t] triples)",
+                    status=400,
+                )
+            self._send_json(200, service.append_events(fingerprint, events))
         elif route in (("POST", "analyze"), ("POST", "sweep")):
             payload = self._read_json()
             fingerprint = payload.get("fingerprint")

@@ -32,10 +32,14 @@ from repro.temporal.reachability import (
     SCAN_KERNELS,
     SCAN_ROWS,
     SCAN_WINDOWS,
+    CheckpointRecorder,
     DistanceStats,
     DistanceTotals,
     EarliestArrivalAccumulator,
+    ResumePlan,
+    ScanCheckpoint,
     ScanResult,
+    blocked_pair_reachability,
     scan_series,
     scan_stream,
     series_distance_stats,
@@ -55,6 +59,10 @@ __all__ = [
     "record_batch_fallback",
     "scan_series",
     "scan_stream",
+    "blocked_pair_reachability",
+    "ScanCheckpoint",
+    "CheckpointRecorder",
+    "ResumePlan",
     "SCAN_KERNELS",
     "SCAN_ROWS",
     "SCAN_WINDOWS",

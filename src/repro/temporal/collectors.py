@@ -282,6 +282,20 @@ class TripListCollector:
         self._maybe_compact()
         return self
 
+    def segment_handoff(self) -> "TripListCollector":
+        """Freeze this collector as a scan segment; return its successor.
+
+        The **checkpoint contract** behind incremental scan resume: at a
+        checkpointed window boundary the scan swaps in the returned
+        fresh collector (same cap and seed — the sample identity) and
+        keeps feeding *it*, leaving ``self`` holding exactly the trips
+        of one contiguous window span.  Cached spans are later spliced
+        into a resumed scan's collectors via :meth:`merge`, which reads
+        but never mutates the absorbed side — so a cached segment stays
+        pristine across any number of reuses.
+        """
+        return TripListCollector(max_trips=self._max_trips, seed=self._seed)
+
     def trips(self) -> TripSet:
         """Assemble the retained batches into one :class:`TripSet`."""
         self._maybe_compact(force=True)
@@ -352,6 +366,13 @@ class CountingCollector:
         self.max_hops = max(self.max_hops, other.max_hops)
         self.max_duration = max(self.max_duration, other.max_duration)
         return self
+
+    def segment_handoff(self) -> "CountingCollector":
+        """Freeze this collector as a scan segment; return its successor
+        (see :meth:`TripListCollector.segment_handoff`).  Counts and
+        maxima are order-free folds, so a fresh collector is all the
+        successor needs."""
+        return CountingCollector()
 
 
 class ChainCollector:
@@ -440,3 +461,19 @@ class ChainCollector:
         for mine, theirs in zip(self._collectors, other._collectors):
             mine.merge(theirs)
         return self
+
+    def segment_handoff(self) -> "ChainCollector":
+        """Freeze this chain as a scan segment; return a successor chain
+        of the children's own handoffs (see
+        :meth:`TripListCollector.segment_handoff`).  Every child must
+        support the checkpoint contract itself."""
+        successors = []
+        for collector in self._collectors:
+            handoff = getattr(collector, "segment_handoff", None)
+            if handoff is None:
+                raise ValidationError(
+                    f"{type(collector).__name__} does not support "
+                    "segment_handoff; cannot checkpoint a chain around it"
+                )
+            successors.append(handoff())
+        return ChainCollector(*successors)

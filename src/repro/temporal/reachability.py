@@ -329,6 +329,41 @@ class DistanceTotals:
         self.count_sum += other.count_sum
         return self
 
+    def segment_handoff(self) -> "DistanceTotals":
+        """Freeze this accumulator as a scan segment; return its successor.
+
+        The checkpoint contract of incremental scan resume: at a
+        checkpointed window boundary the scan swaps in the returned
+        accumulator, which *takes over* the live window-state totals
+        ``S``/``C``/``SH`` (they describe the scan state, not this
+        span's contributions) and keeps folding; ``self`` keeps only the
+        departure-run sums it accumulated — exactly one window span's
+        contribution, splicable via :meth:`absorb_segment`.
+        """
+        live = DistanceTotals()
+        live.S, live.C, live.SH = self.S, self.C, self.SH
+        self.S = self.C = self.SH = 0
+        return live
+
+    def absorb_segment(self, other: "DistanceTotals") -> "DistanceTotals":
+        """Add a cached span's *contributions* (in-place; returns ``self``).
+
+        Unlike :meth:`merge` — the shard rule, which also sums the
+        window-state totals — splicing a contiguous window span must add
+        only the departure-run sums: the span's ``S``/``C``/``SH`` are
+        scan state already carried forward by the handoff chain (zero on
+        stored segments), never a contribution.  Reads but never mutates
+        ``other``, so cached segments survive any number of splices.
+        """
+        if not isinstance(other, DistanceTotals):
+            raise ValidationError(
+                f"cannot splice DistanceTotals with {type(other).__name__}"
+            )
+        self.dist_sum += other.dist_sum
+        self.hops_sum += other.hops_sum
+        self.count_sum += other.count_sum
+        return self
+
     def stats(self, num_nodes: int, num_steps: int) -> DistanceStats:
         """Assemble the accumulated sums into :class:`DistanceStats`.
 
@@ -530,6 +565,58 @@ class EarliestArrivalAccumulator:
         self._H = None
         self._row_hi = None
 
+    def segment_handoff(self) -> "EarliestArrivalAccumulator":
+        """Freeze this accumulator as a scan segment; return its successor.
+
+        The checkpoint contract of incremental scan resume: the
+        successor takes over the *live* mirrored scan state (``_A``/
+        ``_H``/``_row_hi`` — including each row's pending departure-run
+        obligation) with fresh zero contribution matrices, while
+        ``self`` keeps exactly the contributions folded so far: one
+        window span, splicable via :meth:`absorb_segment`.  ``self`` is
+        sealed (state dropped without folding — its pending runs moved
+        to the successor) just like :meth:`finish` leaves a completed
+        accumulator.
+        """
+        live = EarliestArrivalAccumulator()
+        live.num_nodes = self.num_nodes
+        live.num_steps = self.num_steps
+        live.cols = self.cols
+        live.reach_steps = np.zeros_like(self.reach_steps)
+        live.dist_sum = np.zeros_like(self.dist_sum)
+        live.hops_sum = np.zeros_like(self.hops_sum)
+        live._A = self._A
+        live._H = self._H
+        live._row_hi = self._row_hi
+        self._A = None
+        self._H = None
+        self._row_hi = None
+        return live
+
+    def absorb_segment(
+        self, other: "EarliestArrivalAccumulator"
+    ) -> "EarliestArrivalAccumulator":
+        """Add a cached span's contribution matrices (in-place; returns
+        ``self``).  Both sides must cover the same destination columns.
+        Reads but never mutates ``other``, so cached segments survive
+        any number of splices."""
+        if not isinstance(other, EarliestArrivalAccumulator):
+            raise ValidationError(
+                "cannot splice EarliestArrivalAccumulator with "
+                f"{type(other).__name__}"
+            )
+        if self.cols is None or other.cols is None or not np.array_equal(
+            self.cols, other.cols
+        ):
+            raise ValidationError(
+                "cannot splice reachability segments over different "
+                "destination columns"
+            )
+        self.reach_steps += other.reach_steps
+        self.dist_sum += other.dist_sum
+        self.hops_sum += other.hops_sum
+        return self
+
 
 @dataclass(frozen=True)
 class ScanResult:
@@ -537,6 +624,229 @@ class ScanResult:
 
     num_trips: int
     num_steps: int
+
+
+#: Default byte budget for one scan's checkpointed state copies
+#: (overridable via ``REPRO_CHECKPOINT_MAX_BYTES``).  When a scan's
+#: planned checkpoints would exceed it, later (deeper) captures are
+#: skipped — keeping the near-end checkpoints, which are the ones a
+#: future append actually settles against.
+CHECKPOINT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _checkpoint_max_bytes() -> int:
+    """The checkpoint byte budget, env-overridable."""
+    override = os.environ.get("REPRO_CHECKPOINT_MAX_BYTES", "")
+    if override:
+        try:
+            budget = int(override)
+        except ValueError:
+            raise ValidationError(
+                "REPRO_CHECKPOINT_MAX_BYTES must be an integer, got "
+                f"{override!r}"
+            ) from None
+        if budget < 0:
+            raise ValidationError(
+                f"REPRO_CHECKPOINT_MAX_BYTES must be non-negative, got {budget}"
+            )
+        return budget
+    return CHECKPOINT_MAX_BYTES
+
+
+class ScanCheckpoint:
+    """One frozen window-boundary state of a backward scan.
+
+    Captured at the *top* of the scan iteration for ``window`` — before
+    that iteration's departure-run close and before the window's hops
+    apply — so it is the exact incoming state a later scan reaches when
+    it arrives at the same window.  ``last_processed`` is the previous
+    (higher) nonempty window already applied; a resumed scan may only
+    settle here when its own previous window matches, otherwise the
+    pending departure run differs.  The state is stored **canonically
+    unpacked** (``A``/``H`` with the :data:`INT_INF`/:data:`HOP_INF`
+    sentinels): packed keys depend on the series length through ``K``,
+    which an append changes, while the canonical form is comparable
+    across any two scans of the same node set — and across both kernels.
+    """
+
+    __slots__ = ("window", "last_processed", "A", "H")
+
+    def __init__(
+        self, window: int, last_processed: int, A: np.ndarray, H: np.ndarray
+    ) -> None:
+        A.setflags(write=False)
+        H.setflags(write=False)
+        self.window = int(window)
+        self.last_processed = int(last_processed)
+        self.A = A
+        self.H = H
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.A.nbytes) + int(self.H.nbytes)
+
+
+class CheckpointRecorder:
+    """Collects bounded checkpoints and consumer spans during one scan.
+
+    Pass one to :func:`scan_series` (``checkpoints=``) to capture resume
+    state: at selected window boundaries the scan snapshots its state as
+    a :class:`ScanCheckpoint` and hands every consumer off to a fresh
+    successor (``segment_handoff``), so ``spans[i]`` ends up holding
+    exactly the consumers' contributions from ``checkpoints[i]``'s
+    window down to the next boundary (the last span runs to the end of
+    the scan, terminal folds included).  ``span_trips[i]`` counts the
+    trips recorded in that span.  Consumers live *before* the first
+    checkpoint (the caller's own objects) are never stored — they become
+    the assembled result.
+
+    Capture points are chosen by iteration index from the scan's start
+    (descending windows, so early iterations sit near the stream's end —
+    where future appends settle): every power of two, plus every
+    multiple of a stride ≈ √(nonempty windows), subject to the byte
+    budget.
+    """
+
+    def __init__(self, *, max_bytes: int | None = None) -> None:
+        self.checkpoints: list[ScanCheckpoint] = []
+        self.spans: list[tuple] = []
+        self.span_trips: list[int] = []
+        self._max_bytes = (
+            _checkpoint_max_bytes() if max_bytes is None else int(max_bytes)
+        )
+        self._bytes = 0
+        self._stride = 1
+
+    def begin(self, num_windows: int) -> None:
+        """Size the capture stride for a scan of ``num_windows`` nonempty
+        windows (keeps the checkpoint count near ``O(√num_windows)``)."""
+        self._stride = max(int(np.sqrt(max(num_windows, 1))), 1)
+
+    def wants(self, iteration: int) -> bool:
+        """Whether the scan should capture before iteration ``iteration``
+        (0-based from the scan's start; the incoming state of iteration 0
+        is all-infinite and never worth storing)."""
+        if iteration < 1:
+            return False
+        if iteration & (iteration - 1) == 0:
+            return True
+        return iteration % self._stride == 0
+
+    def capture(
+        self, window: int, last_processed: int, A: np.ndarray, H: np.ndarray
+    ) -> bool:
+        """Store one checkpoint; ``False`` when the byte budget is spent
+        (the scan then simply keeps feeding the current span)."""
+        cost = int(A.nbytes) + int(H.nbytes)
+        if self._bytes + cost > self._max_bytes:
+            return False
+        self.checkpoints.append(ScanCheckpoint(window, last_processed, A, H))
+        self._bytes += cost
+        return True
+
+    def store_span(self, consumers, trips: int) -> None:
+        """Record one completed span's frozen consumers and trip count."""
+        self.spans.append(tuple(consumers))
+        self.span_trips.append(int(trips))
+
+    def adopt_tail(
+        self,
+        checkpoints: Sequence[ScanCheckpoint],
+        spans: Sequence[tuple],
+        span_trips: Sequence[int],
+    ) -> None:
+        """Append a settled scan's reused tail (shared, immutable refs
+        from the previous record) so the new record stays complete."""
+        self.checkpoints.extend(checkpoints)
+        self.spans.extend(spans)
+        self.span_trips.extend(span_trips)
+        self._bytes += sum(c.nbytes for c in checkpoints)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the recorded checkpoint states."""
+        return self._bytes
+
+
+class ResumePlan:
+    """Cached checkpoints a resumed scan may settle against.
+
+    Built from a previous scan's record over a *prefix* of the current
+    series: only checkpoints strictly below ``limit`` (the straddle
+    window — the first window any appended event touches) are
+    candidates, since above it the two series differ.  Checkpoint
+    windows descend in capture order, so the eligible ones are a
+    contiguous tail slice, keeping span alignment intact.
+    """
+
+    def __init__(
+        self,
+        checkpoints: Sequence[ScanCheckpoint],
+        spans: Sequence[tuple],
+        span_trips: Sequence[int],
+        *,
+        limit: int,
+    ) -> None:
+        if not len(checkpoints) == len(spans) == len(span_trips):
+            raise ValidationError(
+                "resume plan needs one span and trip count per checkpoint"
+            )
+        first = len(checkpoints)
+        for i, ckpt in enumerate(checkpoints):
+            if ckpt.window < limit:
+                first = i
+                break
+        self._checkpoints = list(checkpoints[first:])
+        self._spans = list(spans[first:])
+        self._span_trips = [int(t) for t in span_trips[first:]]
+        self._by_window = {
+            ckpt.window: i for i, ckpt in enumerate(self._checkpoints)
+        }
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def candidate(self, window: int) -> tuple[int, ScanCheckpoint] | None:
+        """The eligible checkpoint at ``window`` (with its index), if any."""
+        index = self._by_window.get(int(window))
+        if index is None:
+            return None
+        return index, self._checkpoints[index]
+
+    def tail(
+        self, index: int
+    ) -> tuple[list[ScanCheckpoint], list[tuple], list[int]]:
+        """Everything from checkpoint ``index`` down: the reusable tail."""
+        return (
+            self._checkpoints[index:],
+            self._spans[index:],
+            self._span_trips[index:],
+        )
+
+
+def _absorb_span(original, part) -> None:
+    """Fold one cached span consumer into the caller's consumer.
+
+    Accumulators splice via ``absorb_segment`` (contributions only);
+    trip collectors via their shard ``merge``, which reads but never
+    mutates the absorbed side — both leave the cached segment pristine.
+    """
+    absorb = getattr(original, "absorb_segment", None)
+    if absorb is not None:
+        absorb(part)
+    else:
+        original.merge(part)
+
+
+def _require_segment_support(items) -> None:
+    """Checkpointing/resume demands the handoff contract of every consumer."""
+    for item in items:
+        if not hasattr(item, "segment_handoff"):
+            raise ValidationError(
+                f"{type(item).__name__} does not support segment_handoff; "
+                "checkpointed scans need every consumer to implement the "
+                "checkpoint contract"
+            )
 
 
 def _split_consumers(collector) -> tuple[list, list]:
@@ -941,6 +1251,8 @@ def scan_series(
     include_self: bool = False,
     targets: np.ndarray | None = None,
     kernel: str | None = None,
+    checkpoints: CheckpointRecorder | None = None,
+    resume: ResumePlan | None = None,
 ) -> ScanResult:
     """Run the backward scan over a graph series.
 
@@ -976,11 +1288,38 @@ def scan_series(
         module docstring's *Scan kernels* section), so the choice never
         enters a cache key; ``legacy`` is the in-tree oracle the batched
         kernel is verified against.
+    checkpoints:
+        Optional :class:`CheckpointRecorder` capturing bounded scan-state
+        snapshots plus per-span consumer contributions for later resume.
+        Requires every consumer to implement ``segment_handoff``.
+    resume:
+        Optional :class:`ResumePlan` from a previous scan of a time
+        prefix of this series.  The scan proceeds normally from the
+        newest window; on reaching a cached checkpoint whose incoming
+        state (and pending departure run) matches exactly — the
+        **settled boundary** — it stops and splices every earlier
+        window's cached contributions into the consumers instead of
+        recomputing them.  The assembled consumers, the trip count, and
+        any new record are bit-identical to a from-scratch scan: the
+        backward DP's state at a boundary *is* its entire memory of the
+        windows above it.
+
+    Both options change only how much work is redone, never any result.
     """
     SCAN_COUNTS["series"] += 1
     batched = _resolve_kernel(kernel) == "batched"
     n = series.num_nodes
-    collectors, accumulators = _split_consumers(collector)
+    items = (
+        []
+        if collector is None
+        else list(collector)
+        if isinstance(collector, (list, tuple))
+        else [collector]
+    )
+    originals = list(items)
+    if checkpoints is not None or resume is not None:
+        _require_segment_support(items)
+    collectors, accumulators = _split_consumers(items)
     cols, col_of, width = _target_columns(targets, n)
     for accumulator in accumulators:
         # Geometry hook: per-pair accumulators allocate their state from
@@ -988,6 +1327,9 @@ def scan_series(
         begin = getattr(accumulator, "begin", None)
         if begin is not None:
             begin(n, series.num_steps, cols)
+    recorder = checkpoints
+    if recorder is not None:
+        recorder.begin(int(series.nonempty_steps().size))
     # Analytic packing caps for the batched kernel: arrivals and window
     # indices are < num_steps, and no minimal trip can take more than
     # num_steps hops (each hop departs one window later).  Both caps are
@@ -1005,10 +1347,46 @@ def scan_series(
         A = np.full((n, width), INT_INF, dtype=np.int64)
         H = np.full((n, width), HOP_INF, dtype=np.int64)
 
+    def canonical_state() -> tuple[np.ndarray, np.ndarray]:
+        # Kernel-agnostic state copies with the canonical sentinels, the
+        # form checkpoints are stored and compared in.
+        if batched:
+            return _unpack_rows(P, K, a_inf)
+        return A.copy(), H.copy()
+
     num_trips = 0
     last_processed: int | None = None
+    iteration = 0
+    captures = 0
+    span_trip_base = 0
+    settled_index: int | None = None
+    #: Consumer spans to fold into the caller's consumers at the end —
+    #: frozen handoff spans from this scan, then (when settled) the
+    #: reused cached tail, in scan order.
+    assembly: list[tuple] = []
 
     for step, u, v in series.edge_groups(reverse=True):
+        if resume is not None and last_processed is not None:
+            found = resume.candidate(step)
+            if found is not None and found[1].last_processed == last_processed:
+                cur_A, cur_H = canonical_state()
+                ckpt = found[1]
+                if np.array_equal(cur_A, ckpt.A) and np.array_equal(
+                    cur_H, ckpt.H
+                ):
+                    settled_index = found[0]
+                    break
+        if recorder is not None and recorder.wants(iteration):
+            ck_A, ck_H = canonical_state()
+            # last_processed is never None here: wants() skips iteration 0.
+            if recorder.capture(step, last_processed, ck_A, ck_H):
+                if captures:
+                    recorder.store_span(items, num_trips - span_trip_base)
+                    assembly.append(tuple(items))
+                captures += 1
+                span_trip_base = num_trips
+                items = [item.segment_handoff() for item in items]
+                collectors, accumulators = _split_consumers(items)
         if accumulators and last_processed is not None:
             # The current state (built from windows > step) is the exact
             # reachability picture for every departure step t in
@@ -1028,17 +1406,44 @@ def scan_series(
                 accumulators, col_of, cols,
             )
         last_processed = step
+        iteration += 1
 
-    if accumulators and last_processed is not None:
-        # Departures at or below the earliest nonempty window all see
-        # the final state.
+    if settled_index is not None:
+        # Settled: every window at and below the boundary is served from
+        # cache.  One final handoff freezes the live consumers (sealing
+        # the caller's objects when no capture happened yet — their scan
+        # state moved to the discarded successor, exactly like finish
+        # without re-folding runs the cached tail already covers).
+        frozen = tuple(items)
+        items = [item.segment_handoff() for item in items]
+        if captures:
+            if recorder is not None:
+                recorder.store_span(frozen, num_trips - span_trip_base)
+            assembly.append(frozen)
+        tail_ckpts, tail_spans, tail_trips = resume.tail(settled_index)
+        num_trips += sum(tail_trips)
+        if recorder is not None:
+            recorder.adopt_tail(tail_ckpts, tail_spans, tail_trips)
+        assembly.extend(tail_spans)
+    else:
+        if accumulators and last_processed is not None:
+            # Departures at or below the earliest nonempty window all see
+            # the final state.
+            for accumulator in accumulators:
+                accumulator.close_run(0, last_processed)
         for accumulator in accumulators:
-            accumulator.close_run(0, last_processed)
-    for accumulator in accumulators:
-        # Completion hook: row-wise accumulators fold their tails here.
-        finish = getattr(accumulator, "finish", None)
-        if finish is not None:
-            finish()
+            # Completion hook: row-wise accumulators fold their tails here.
+            finish = getattr(accumulator, "finish", None)
+            if finish is not None:
+                finish()
+        if captures:
+            if recorder is not None:
+                recorder.store_span(items, num_trips - span_trip_base)
+            assembly.append(tuple(items))
+
+    for span in assembly:
+        for original, part in zip(originals, span):
+            _absorb_span(original, part)
     return ScanResult(num_trips=num_trips, num_steps=series.num_steps)
 
 
@@ -1059,6 +1464,72 @@ def series_distance_stats(
     totals = DistanceTotals()
     scan_series(series, totals, targets=targets)
     return totals.stats(series.num_nodes, series.num_steps)
+
+
+def _blocked_block_cols(n: int, block_cols: int | None) -> int:
+    """Resolve the destination-block width for blocked pair reachability.
+
+    Explicit argument wins; else ``REPRO_REACH_BLOCK_COLS``; else a width
+    sized so one block's working set (three int64 accumulator matrices
+    plus scan state, ~48 bytes per cell) stays near 64 MiB.
+    """
+    if block_cols is None:
+        raw = os.environ.get("REPRO_REACH_BLOCK_COLS")
+        if raw is not None:
+            try:
+                block_cols = int(raw)
+            except ValueError:
+                raise ValidationError(
+                    f"REPRO_REACH_BLOCK_COLS must be an integer, got {raw!r}"
+                ) from None
+    if block_cols is None:
+        return max(1, min(n, (64 << 20) // (48 * max(n, 1))))
+    if block_cols < 1:
+        raise ValidationError(
+            f"block_cols must be a positive integer, got {block_cols}"
+        )
+    return int(block_cols)
+
+
+def blocked_pair_reachability(
+    series: GraphSeries,
+    *,
+    block_cols: int | None = None,
+    kernel: str | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full per-pair reachability matrices, computed in destination blocks.
+
+    Returns ``(reach_steps, dist_sum, hops_sum)`` — three int64
+    ``(n, n)`` matrices with zero diagonals, bit-identical to
+    :func:`repro.temporal.bruteforce.bruteforce_pair_reachability` — by
+    chunking :class:`EarliestArrivalAccumulator` over destination-column
+    blocks of ``block_cols`` columns.  The arrival-matrix columns are
+    independent dynamic programs, so each block is an ordinary
+    ``targets=``-restricted scan and its accumulator matrices scatter
+    into the full result; peak accumulator memory drops from
+    ``O(n * n)`` to ``O(n * block_cols)`` per block (the three output
+    matrices still hold ``n * n``).
+
+    ``block_cols`` defaults to ``REPRO_REACH_BLOCK_COLS`` or an
+    automatic width targeting ~64 MiB of per-block working set.
+    """
+    n = series.num_nodes
+    width = _blocked_block_cols(n, block_cols)
+    reach = np.zeros((n, n), dtype=np.int64)
+    dist = np.zeros((n, n), dtype=np.int64)
+    hops = np.zeros((n, n), dtype=np.int64)
+    for lo in range(0, n, width):
+        cols = np.arange(lo, min(lo + width, n), dtype=np.int64)
+        accumulator = EarliestArrivalAccumulator()
+        scan_series(series, accumulator, targets=cols, kernel=kernel)
+        reach[:, cols] = accumulator.reach_steps
+        dist[:, cols] = accumulator.dist_sum
+        hops[:, cols] = accumulator.hops_sum
+    idx = np.arange(n)
+    reach[idx, idx] = 0
+    dist[idx, idx] = 0
+    hops[idx, idx] = 0
+    return reach, dist, hops
 
 
 def _stream_groups(stream: LinkStream) -> Iterator[tuple[float, np.ndarray, np.ndarray]]:

@@ -13,6 +13,15 @@ class LinkStreamError(ReproError):
     """Invalid link-stream construction or operation."""
 
 
+class AppendOrderError(LinkStreamError):
+    """An append batch violates the append-only contract: every event
+    handed to :meth:`LinkStream.extend` must be strictly later than the
+    stream's last event.  Out-of-order (or in-place, ``t == t_max``)
+    appends would rewrite history the prefix fingerprints already
+    vouch for, so they are rejected with this named error instead of
+    being silently re-sorted in."""
+
+
 class AggregationError(ReproError):
     """Invalid aggregation request (bad window length, empty stream...)."""
 

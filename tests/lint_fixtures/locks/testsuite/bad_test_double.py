@@ -1,0 +1,20 @@
+"""Fixture: a lock-owning *test double* with an unlocked write.
+
+The lock rules cover ``tests/`` too — fakes that model concurrent
+engine parts (counting backends, recording evaluators) must honour the
+same discipline as the real classes they stand in for.
+"""
+
+import threading
+
+
+class CountingFakeBackend:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._results = []
+
+    def submit(self, task) -> None:
+        self._submitted += 1
+        with self._lock:
+            self._results.append(task)

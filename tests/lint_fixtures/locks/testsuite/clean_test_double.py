@@ -1,0 +1,21 @@
+"""Fixture: a disciplined test double — every write under its lock."""
+
+import threading
+
+
+class RecordingFakeBackend:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._results = []
+
+    def submit(self, task) -> None:
+        with self._lock:
+            self._submitted += 1
+            self._results.append(task)
+
+    def drain(self) -> list:
+        with self._lock:
+            drained = list(self._results)
+            self._results = []
+            return drained

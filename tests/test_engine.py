@@ -83,7 +83,7 @@ class CountingEvaluator:
 @pytest.fixture
 def count_evaluations(monkeypatch):
     counter = CountingEvaluator()
-    monkeypatch.setattr("repro.engine.tasks.scan_series", counter)
+    monkeypatch.setattr("repro.engine.incremental.scan_series", counter)
     return counter
 
 

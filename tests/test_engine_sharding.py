@@ -490,7 +490,7 @@ class TestShardCacheKeys:
                 calls["full"] += 1
             return real_scan(series, collector, **kwargs)
 
-        monkeypatch.setattr("repro.engine.tasks.scan_series", counting)
+        monkeypatch.setattr("repro.engine.incremental.scan_series", counting)
         engine = SweepEngine(cache=SweepCache.build())
         sharded = occupancy_method(stream, deltas=[50.0, 500.0], engine=engine, shards=2)
         assert calls["full"] == 0  # the sharded path never runs a full scan

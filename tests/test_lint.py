@@ -113,6 +113,27 @@ class TestRuleFamiliesFire:
         ]
         assert "_count" in result.active_findings[0].message
 
+    def test_unlocked_write_in_test_double(self):
+        # The lock rules cover tests/ too: a lock-owning fake backend is
+        # held to the same discipline as the engine class it stands for.
+        result = fixture_findings("locks", "testsuite", "bad_test_double.py")
+        assert [f.rule for f in result.active_findings] == [
+            "unlocked-attribute-write"
+        ]
+        assert "_submitted" in result.active_findings[0].message
+
+    def test_lock_scope_excludes_unrelated_trees(self, tmp_path):
+        # The same racy class outside engine/service/tests is out of
+        # scope for the lock rules.
+        racy = (FIXTURES / "locks" / "testsuite" / "bad_test_double.py").read_text()
+        outside = tmp_path / "notebooks" / "double.py"
+        outside.parent.mkdir()
+        outside.write_text(racy)
+        result = lint_paths([str(outside)])
+        assert "unlocked-attribute-write" not in [
+            f.rule for f in result.active_findings
+        ]
+
     def test_lock_order_cycle(self):
         result = fixture_findings("locks", "engine", "bad_lock_cycle.py")
         assert [f.rule for f in result.active_findings] == ["lock-order-cycle"]
@@ -130,6 +151,7 @@ class TestRuleFamiliesFire:
             ("determinism", "core", "clean.py"),
             ("collector", "clean.py"),
             ("locks", "engine", "clean.py"),
+            ("locks", "testsuite", "clean_test_double.py"),
         ],
     )
     def test_clean_fixtures_stay_clean(self, relpath):
@@ -164,6 +186,19 @@ class TestGoldenCorpus:
         # Only .py files are linted; the golden json rides along inertly.
         files = discover_files([str(FIXTURES)])
         assert all(path.endswith(".py") for path in files)
+
+    def test_discovery_skips_fixture_corpora(self, tmp_path):
+        # Walking a tree never descends into lint_fixtures/ (the files
+        # there violate rules on purpose) — so `repro lint tests` stays
+        # clean — but naming the corpus explicitly still lints it.
+        corpus = tmp_path / "tests" / "lint_fixtures"
+        corpus.mkdir(parents=True)
+        (corpus / "seeded.py").write_text("x = 1\n")
+        (tmp_path / "tests" / "test_real.py").write_text("y = 2\n")
+        walked = discover_files([str(tmp_path)])
+        assert [os.path.basename(p) for p in walked] == ["test_real.py"]
+        explicit = discover_files([str(corpus)])
+        assert [os.path.basename(p) for p in explicit] == ["seeded.py"]
 
 
 class TestSuppressions:

@@ -32,7 +32,12 @@ from repro.reporting import render_analysis
 from repro.service import AnalysisService, ServiceClient
 from repro.service.daemon import ServiceServer
 from repro.temporal.reachability import SCAN_COUNTS
-from repro.utils.errors import AdmissionError, JobCancelled, ServiceError
+from repro.utils.errors import (
+    AdmissionError,
+    JobCancelled,
+    ReproError,
+    ServiceError,
+)
 
 
 @dataclass(frozen=True)
@@ -213,6 +218,46 @@ class TestServiceCore:
                 r"deadline exceeded before analysis task at delta=[0-9.e+-]+",
                 str(excinfo.value),
             )
+
+    def test_append_registers_grown_stream_with_lineage(self, service, stream):
+        fingerprint = service.register_stream(stream)
+        t0 = int(stream.t_max)
+        response = service.append_events(
+            fingerprint, [[0, 1, t0 + 1], [2, 3, t0 + 2]]
+        )
+        assert response["parent"] == fingerprint
+        assert response["appended"] == 2
+        assert response["num_events"] == stream.num_events + 2
+        grown = service.stream(response["fingerprint"])
+        assert grown.fingerprint_chain[-1] == (stream.num_events, fingerprint)
+        # Both registrations stay addressable.
+        fingerprints = {s["fingerprint"] for s in service.list_streams()}
+        assert {fingerprint, response["fingerprint"]} <= fingerprints
+
+    def test_append_rejects_out_of_order_batch(self, service, stream):
+        fingerprint = service.register_stream(stream)
+        with pytest.raises(ReproError, match="strictly greater"):
+            service.append_events(fingerprint, [[0, 1, int(stream.t_min)]])
+
+    def test_append_validates_triples(self, service, stream):
+        fingerprint = service.register_stream(stream)
+        with pytest.raises(ServiceError, match="triple") as excinfo:
+            service.append_events(fingerprint, [[0, 1]])
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError, match="number"):
+            service.append_events(fingerprint, [[0, 1, "soon"]])
+
+    def test_append_then_analyze_matches_offline(self, service, stream):
+        fingerprint = service.register_stream(stream)
+        service.submit_analyze(fingerprint, num_deltas=6).result(60)
+        t0 = int(stream.t_max)
+        events = [[0, 1, t0 + 40], [4, 5, t0 + 90], [1, 2, t0 + 130]]
+        response = service.append_events(fingerprint, events)
+        warm = service.submit_analyze(
+            response["fingerprint"], num_deltas=6
+        ).result(60)
+        grown = stream.extend([tuple(e) for e in events])
+        assert warm["text"] == offline_text(grown, num_deltas=6)
 
     def test_sweep_job(self, service, stream):
         fingerprint = service.register_stream(stream)
