@@ -42,7 +42,17 @@ def test_ablation_baselines(benchmark, capsys, irvine_stream, irvine_sweep):
         [[k, hours(v)] for k, v in rows.items()],
         title="Ablation — aggregation scales selected by each method (Irvine)",
     )
-    emit(capsys, "ablation_baselines", table)
+    emit(
+        capsys,
+        "ablation_baselines",
+        table,
+        data={
+            "num_deltas": len(deltas),
+            "selected_delta_seconds": {
+                name: float(delta) for name, delta in rows.items()
+            },
+        },
+    )
 
     # The trade-off answer moves with its weight (the paper's criticism).
     assert rows["tradeoff w=0.9"] <= rows["tradeoff w=0.1"]

@@ -60,7 +60,19 @@ def test_engine_backend_comparison(benchmark, capsys, irvine_stream):
         rows,
         title=f"Ablation — engine backends ({len(deltas)} deltas, jobs={JOBS})",
     )
-    emit(capsys, "ablation_engine_backends", table)
+    emit(
+        capsys,
+        "ablation_engine_backends",
+        table,
+        data={
+            "jobs": JOBS,
+            "num_deltas": len(deltas),
+            "gamma_s": float(results["serial"].gamma),
+            "wall_seconds": {row[0]: float(row[1]) for row in rows},
+            "cache_cold_seconds": float(cold_time),
+            "cache_warm_seconds": float(warm_time),
+        },
+    )
 
     # Bit-identical results whatever the execution strategy or cache state.
     reference = results["serial"]

@@ -37,7 +37,23 @@ def test_ablation_histogram_bins(benchmark, capsys, irvine_stream, irvine_sweep)
         [[b, p, e] for b, p, e in rows],
         title=f"Ablation — histogram resolution at gamma (exact mk = {reference:.6f})",
     )
-    emit(capsys, "ablation_histogram_bins", table)
+    emit(
+        capsys,
+        "ablation_histogram_bins",
+        table,
+        data={
+            "delta_s": float(delta),
+            "exact_mk_proximity": float(reference),
+            "resolutions": [
+                {
+                    "bins": int(bins),
+                    "mk_proximity": float(proximity),
+                    "abs_error_vs_exact": float(error),
+                }
+                for bins, proximity, error in rows
+            ],
+        },
+    )
 
     errors = {b: e for b, __, e in rows}
     assert errors[4096] < 1e-3

@@ -103,10 +103,24 @@ def test_measure_fusion_ablation(benchmark, capsys, irvine_stream):
             f"{len(deltas)} deltas, {irvine_stream.num_events} events)"
         ),
     )
-    emit(capsys, "ablation_measure_fusion", table)
-
     fused_time, fused_scans, fused_aggs = timings["fused"]
     separate_time, separate_scans, separate_aggs = timings["separate"]
+    emit(
+        capsys,
+        "ablation_measure_fusion",
+        table,
+        data={
+            "num_deltas": len(deltas),
+            "num_events": irvine_stream.num_events,
+            "separate_seconds": float(separate_time),
+            "separate_scans": int(separate_scans),
+            "separate_aggregations": int(separate_aggs),
+            "fused_seconds": float(fused_time),
+            "fused_scans": int(fused_scans),
+            "fused_aggregations": int(fused_aggs),
+            "speedup": float(separate_time / fused_time),
+        },
+    )
     # The acceptance claims: exactly one scan and one aggregation per Δ
     # fused, against one per measure kind separate — and the halved scan
     # count shows up on the wall clock.

@@ -80,10 +80,24 @@ def test_measure_plugin_overhead_ablation(benchmark, capsys, irvine_stream):
             f"{irvine_stream.num_events} events)"
         ),
     )
-    emit(capsys, "ablation_measure_plugins", table)
-
     plain_time, plain_scans, plain_aggs, plain = timings["occupancy_only"]
     loaded_time, loaded_scans, loaded_aggs, loaded = timings["with_riders"]
+    emit(
+        capsys,
+        "ablation_measure_plugins",
+        table,
+        data={
+            "num_deltas": len(deltas),
+            "num_events": irvine_stream.num_events,
+            "riders": list(riders),
+            "occupancy_only_seconds": float(plain_time),
+            "occupancy_only_scans": int(plain_scans),
+            "with_riders_seconds": float(loaded_time),
+            "with_riders_scans": int(loaded_scans),
+            "rider_overhead_seconds": float(loaded_time - plain_time),
+            "gamma_s": float(plain.gamma),
+        },
+    )
     # The acceptance claim: extra measures attach to the existing scan —
     # the fused count stays at exactly one scan (and one aggregation)
     # per Δ, identical to the occupancy-only sweep.

@@ -1,0 +1,232 @@
+"""Ablation — out-of-core spanned analysis vs full materialization.
+
+The partitioned catalog backend makes three claims for a spanned sweep
+over a dataset much larger than the window of interest:
+
+* **pruning** — a sweep restricted to a ``span`` opens exactly the
+  partitions overlapping that span, once per task, and prunes every
+  other partition without reading a byte of it.  Asserted on the
+  ``STORAGE_COUNTS`` deltas: ``opened == tasks * k`` and
+  ``pruned == tasks * (total - k)``.
+* **memory** — the traced allocation peak of opening the catalog and
+  materializing the span slice stays below the byte size of the full
+  stream's columns, while materializing the whole dataset necessarily
+  reaches it.  (The probe is storage-level on purpose: scan-backed
+  measures allocate far more than the columns on any backend, which
+  would drown the storage signal.)
+* **bit-identity** — the spanned results off the catalog handle match
+  the same sweep on the in-memory stream restricted to the span; a
+  cheap wrong answer fails before any number is reported.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from time import perf_counter
+
+from _harness import emit
+
+from repro.datasets import ingest_stream, open_dataset
+from repro.engine import SweepEngine, plan_measure_sweep
+from repro.engine.incremental import clear_incremental_store
+from repro.generators import time_uniform_stream
+from repro.graphseries.aggregation import clear_aggregate_cache
+from repro.reporting import render_table
+from repro.storage import STORAGE_COUNTS
+
+#: Dense synthetic workload, same family as the other ablations: every
+#: pair linked once, uniform in time.  Partitions are kept small so the
+#: catalog shards the stream into dozens of files, and the analysis
+#: span covers only a handful of them.
+NUM_NODES = 600
+SPAN = 100_000.0
+PARTITION_EVENTS = 4_096
+DATASET = "ooc_ablation"
+
+MEASURES = ("occupancy", "reachability")
+ROUNDS = 3
+
+
+def _snapshot() -> dict:
+    return dict(STORAGE_COUNTS)
+
+
+def _delta(before: dict) -> dict:
+    return {key: STORAGE_COUNTS[key] - before[key] for key in before}
+
+
+def _point_key(point):
+    """Order-insensitive value key for a SweepPoint (no array identity)."""
+    return (
+        point.delta,
+        point.num_windows,
+        point.num_nonempty_windows,
+        point.num_trips,
+        tuple(sorted(point.scores.items())),
+    )
+
+
+def _traced_peak(fn) -> int:
+    clear_incremental_store()
+    clear_aggregate_cache()
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_out_of_core_ablation(benchmark, capsys, tmp_path):
+    stream = time_uniform_stream(NUM_NODES, 1, SPAN, seed=5)
+    full_bytes = (
+        stream.sources.nbytes + stream.targets.nbytes + stream.timestamps.nbytes
+    )
+    manifest = ingest_stream(
+        stream,
+        DATASET,
+        root=str(tmp_path),
+        partition_events=PARTITION_EVENTS,
+    )
+    entries = manifest["partitions"]
+    total = len(entries)
+    assert total >= 16, f"workload only sharded into {total} partitions"
+
+    # Span a ~1/8 stripe of partitions from the middle of the stream.
+    lo = total // 2
+    hi = lo + max(total // 8, 1) - 1
+    span = (float(entries[lo]["t_min"]), float(entries[hi]["t_max"]) + 1.0)
+    k = sum(
+        1
+        for entry in entries
+        if entry["t_max"] >= span[0] and entry["t_min"] < span[1]
+    )
+    assert 0 < k < total
+    length = span[1] - span[0]
+    deltas = [length / 32.0, length / 16.0, length / 8.0, length / 4.0]
+    spanned = plan_measure_sweep(deltas, MEASURES, span=span)
+    plain = plan_measure_sweep(deltas, MEASURES)
+
+    def compare():
+        # -- metadata answers without touching event bytes -----------------
+        before = _snapshot()
+        handle = open_dataset(DATASET, root=str(tmp_path))
+        assert handle.num_events == stream.num_events
+        assert handle.fingerprint() == stream.fingerprint()
+        assert _delta(before)["partitions_opened"] == 0, (
+            "opening the catalog handle loaded event bytes"
+        )
+
+        # -- pruning accounting (counter-asserted) --------------------------
+        before = _snapshot()
+        with SweepEngine("serial") as engine:
+            off_core = engine.run(handle, spanned)
+        pruning = _delta(before)
+        expected_opened = len(spanned) * k
+        expected_pruned = len(spanned) * (total - k)
+        assert pruning["partitions_opened"] == expected_opened, (
+            f"spanned sweep opened {pruning['partitions_opened']} "
+            f"partitions; only {expected_opened} overlap the span"
+        )
+        assert pruning["partitions_pruned"] == expected_pruned, (
+            f"spanned sweep pruned {pruning['partitions_pruned']} "
+            f"partitions, expected {expected_pruned}"
+        )
+
+        # -- bit-identity gates everything below ----------------------------
+        restricted = stream.restrict_time(*span)
+        with SweepEngine("serial") as engine:
+            in_memory = engine.run(restricted, plain)
+        for got, want in zip(off_core, in_memory):
+            assert repr(got) == repr(want), (
+                "out-of-core spanned sweep diverged from the in-memory run"
+            )
+            assert _point_key(got["occupancy"]) == _point_key(
+                want["occupancy"]
+            )
+
+        # -- traced allocation peaks (storage layer) -------------------------
+        def slice_off_core():
+            fresh = open_dataset(DATASET, root=str(tmp_path))
+            sliced = fresh.slice_time(*span)
+            assert sliced.num_events == restricted.num_events
+
+        def materialize_everything():
+            fresh = open_dataset(DATASET, root=str(tmp_path))
+            fresh.storage.columns()
+
+        ooc_peak = _traced_peak(slice_off_core)
+        full_peak = _traced_peak(materialize_everything)
+        assert full_peak >= full_bytes, (
+            f"full materialization peaked at {full_peak} bytes, below the "
+            f"{full_bytes}-byte column payload; the probe is broken"
+        )
+        assert ooc_peak < full_bytes, (
+            f"out-of-core span slice peaked at {ooc_peak} bytes, not "
+            f"below the {full_bytes}-byte full column payload"
+        )
+
+        # -- wall clock -------------------------------------------------------
+        timings = {"ooc": [], "full": []}
+        for _ in range(ROUNDS):
+            clear_incremental_store()
+            clear_aggregate_cache()
+            start = perf_counter()
+            slice_off_core()
+            timings["ooc"].append(perf_counter() - start)
+            start = perf_counter()
+            materialize_everything()
+            timings["full"].append(perf_counter() - start)
+        best = {mode: min(elapsed) for mode, elapsed in timings.items()}
+
+        rows = [
+            ["full materialize", best["full"], full_peak, total, 0],
+            [
+                "out-of-core span",
+                best["ooc"],
+                ooc_peak,
+                pruning["partitions_opened"],
+                pruning["partitions_pruned"],
+            ],
+        ]
+        return rows, best, pruning, ooc_peak, full_peak
+
+    rows, best, pruning, ooc_peak, full_peak = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    table = render_table(
+        ["path", "wall_seconds", "peak_alloc_bytes", "opened", "pruned"],
+        rows,
+        title=(
+            f"Ablation — out-of-core span (n={NUM_NODES}, "
+            f"{stream.num_events} events, {total} partitions, "
+            f"span covers {k})"
+        ),
+    )
+    emit(
+        capsys,
+        "ablation_out_of_core",
+        table,
+        data={
+            "num_nodes": NUM_NODES,
+            "num_events": stream.num_events,
+            "partition_events": PARTITION_EVENTS,
+            "partitions": total,
+            "overlapping_partitions": k,
+            "tasks": len(spanned),
+            "span": list(span),
+            "partitions_opened": pruning["partitions_opened"],
+            "partitions_pruned": pruning["partitions_pruned"],
+            "full_column_bytes": full_bytes,
+            "ooc_peak_bytes": ooc_peak,
+            "full_peak_bytes": full_peak,
+            "ooc_seconds": best["ooc"],
+            "full_materialize_seconds": best["full"],
+        },
+    )
+
+    assert ooc_peak < full_peak, (
+        f"spanned analysis peak ({ooc_peak}) not below full materialization "
+        f"peak ({full_peak})"
+    )

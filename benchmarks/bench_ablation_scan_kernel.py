@@ -96,9 +96,21 @@ def test_scan_kernel_ablation(benchmark, capsys):
             f"{series.num_steps} windows, {stream.num_events} events)"
         ),
     )
-    emit(capsys, "ablation_scan_kernel", table)
-
     speedup = best["legacy"] / best["batched"]
+    emit(
+        capsys,
+        "ablation_scan_kernel",
+        table,
+        data={
+            "num_nodes": NUM_NODES,
+            "num_events": stream.num_events,
+            "num_windows": series.num_steps,
+            "delta": DELTA,
+            "legacy_seconds": float(best["legacy"]),
+            "batched_seconds": float(best["batched"]),
+            "speedup": float(speedup),
+        },
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"batched kernel only {speedup:.2f}x faster than legacy "
         f"({best['batched']:.3f}s vs {best['legacy']:.3f}s); "

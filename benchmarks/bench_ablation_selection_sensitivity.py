@@ -35,7 +35,17 @@ def test_ablation_shannon_slots(benchmark, capsys, irvine_sweep):
         [[s, hours(d), d / mk_gamma] for s, d in chosen.items()],
         title="Ablation — Shannon slot count vs selected period (Irvine)",
     )
-    emit(capsys, "ablation_shannon_slots", table)
+    emit(
+        capsys,
+        "ablation_shannon_slots",
+        table,
+        data={
+            "mk_gamma_s": float(mk_gamma),
+            "selected_delta_seconds": {
+                str(slots): float(delta) for slots, delta in chosen.items()
+            },
+        },
+    )
 
     # Orders of magnitude are preserved for moderate k (paper's claim).
     for slots in (5, 10, 20):

@@ -91,7 +91,19 @@ def test_sharding_ablation(benchmark, capsys):
             f"{stream.num_events} events, jobs={JOBS})"
         ),
     )
-    emit(capsys, "ablation_sharding", table)
+    emit(
+        capsys,
+        "ablation_sharding",
+        table,
+        data={
+            "jobs": JOBS,
+            "num_events": stream.num_events,
+            "coarse_delta": COARSE_DELTA,
+            "unsharded_seconds": float(timings["unsharded"]),
+            "sharded_seconds": float(timings["sharded"]),
+            "speedup": float(timings["unsharded"] / timings["sharded"]),
+        },
+    )
 
     # The acceptance claim: on >= 2 workers the sharded evaluation of a
     # single coarse Δ beats the unsharded one wall-clock.

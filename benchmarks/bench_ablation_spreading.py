@@ -54,11 +54,29 @@ def test_ablation_spreading_fidelity(benchmark, capsys, irvine_stream, irvine_sw
         f"at gamma = {curve.fidelity_at(gamma):.3f}, "
         f"at 10*gamma = {curve.fidelity_at(10 * gamma):.3f}"
     )
-    emit(capsys, "ablation_spreading_fidelity", table + "\n\n" + chart + summary)
-
     below = curve.fidelity_at(gamma / 10)
     at = curve.fidelity_at(gamma)
     beyond = curve.fidelity_at(10 * gamma)
+    emit(
+        capsys,
+        "ablation_spreading_fidelity",
+        table + "\n\n" + chart + summary,
+        data={
+            "gamma_s": float(gamma),
+            "num_deltas": len(deltas),
+            "fidelity_below_gamma": float(below),
+            "fidelity_at_gamma": float(at),
+            "fidelity_beyond_gamma": float(beyond),
+            "curve": [
+                {
+                    "delta_s": float(p.delta),
+                    "outbreak_jaccard": float(p.mean_jaccard),
+                    "size_ratio": float(p.mean_size_ratio),
+                }
+                for p in curve.points
+            ],
+        },
+    )
     # Mostly preserved below the saturation scale, altered beyond it.
     assert below > 0.9
     assert beyond < below

@@ -41,7 +41,20 @@ def test_ablation_gamma_stability(benchmark, capsys, irvine_stream):
         ],
         title="Ablation — gamma under 8 random 80% event subsamples (Irvine)",
     )
-    emit(capsys, "ablation_gamma_stability", table)
+    emit(
+        capsys,
+        "ablation_gamma_stability",
+        table,
+        data={
+            "num_resamples": 8,
+            "fraction": 0.8,
+            "gamma_full_s": float(result.gamma_full),
+            "subsample_q10_s": float(q10),
+            "subsample_median_s": float(q50),
+            "subsample_q90_s": float(q90),
+            "spread_factor": float(result.spread_factor),
+        },
+    )
 
     # The detected scale is robust: subsamples stay within one
     # grid-step factor of each other and of the full-stream value.

@@ -34,7 +34,17 @@ def test_ablation_sweep_resolution(benchmark, capsys, irvine_stream):
         [[k, hours(g), n] for k, (g, n) in outcomes.items()],
         title="Ablation — gamma vs sweep-grid density (Irvine)",
     )
-    emit(capsys, "ablation_sweep_resolution", table)
+    emit(
+        capsys,
+        "ablation_sweep_resolution",
+        table,
+        data={
+            "strategies": {
+                label: {"gamma_s": float(gamma), "evaluations": int(count)}
+                for label, (gamma, count) in outcomes.items()
+            },
+        },
+    )
 
     gammas = [g for g, __ in outcomes.values()]
     # All strategies land within one grid-step factor of each other.

@@ -128,7 +128,36 @@ def test_service_throughput(benchmark, capsys, tmp_path):
             f"coalesced={stats['coalesced']}, submitted={stats['submitted']})"
         ),
     )
-    emit(capsys, "ablation_service_throughput", table)
+    emit(
+        capsys,
+        "ablation_service_throughput",
+        table,
+        data={
+            "runners": 4,
+            "coalesced": int(stats["coalesced"]),
+            "submitted": int(stats["submitted"]),
+            "regimes": {
+                "cold": {
+                    "requests": len(cold),
+                    "wall_seconds": float(cold_wall),
+                    "p50_ms": float(_percentile(cold, 50) * 1e3),
+                    "p99_ms": float(_percentile(cold, 99) * 1e3),
+                },
+                "warm": {
+                    "requests": len(warm),
+                    "wall_seconds": float(warm_wall),
+                    "p50_ms": float(_percentile(warm, 50) * 1e3),
+                    "p99_ms": float(_percentile(warm, 99) * 1e3),
+                },
+                "coalesced": {
+                    "requests": len(burst),
+                    "wall_seconds": float(burst_wall),
+                    "p50_ms": float(_percentile(burst, 50) * 1e3),
+                    "p99_ms": float(_percentile(burst, 99) * 1e3),
+                },
+            },
+        },
+    )
 
     # Lifecycle smoke: the daemon answered every request and shut down
     # cleanly on demand.

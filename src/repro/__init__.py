@@ -23,6 +23,16 @@ kernel by default; ``REPRO_SCAN_KERNEL=legacy`` (or
 ``scan_series(..., kernel="legacy")``) switches to the per-source
 reference loop — bit-identical, just slower — see *Scan kernels* below.
 
+Traces too big to re-read whole?  Ingest once into a partitioned
+dataset catalog and analyze spans out of core (see *Dataset catalog &
+out-of-core streams* below)::
+
+    from repro.datasets import ingest_file, open_dataset
+
+    ingest_file("trace.tsv.gz", "mytrace", root="~/datasets")
+    lazy = open_dataset("mytrace", root="~/datasets")   # manifest only
+    result = occupancy_method(lazy)     # same gamma, same cache keys
+
 Contributing code?  ``repro lint src/repro`` checks the project
 invariants described below before the test suite ever runs.
 
@@ -39,7 +49,11 @@ Packages
     The occupancy method, occupancy distributions, uniformity
     statistics, loss validation, classical sweeps.
 ``repro.generators`` / ``repro.datasets``
-    Synthetic families of Section 6 and replicas of the four traces.
+    Synthetic families of Section 6, replicas of the four traces, and
+    the on-disk dataset catalog (``repro datasets``).
+``repro.storage``
+    Columnar storage backends behind :class:`LinkStream`: the in-memory
+    default and the partitioned out-of-core backend.
 ``repro.baselines``
     Related-work aggregation-scale selectors for comparison.
 ``repro.reporting``
@@ -261,6 +275,46 @@ The daemon exposes the same pipeline over HTTP: ``POST /v1/append``
 stream into a new registered stream with lineage, so streaming sources
 can feed a warm service and every re-analysis stays incremental.
 
+Dataset catalog & out-of-core streams
+-------------------------------------
+A :class:`LinkStream` no longer assumes its events live in RAM: the
+columnar arrays sit behind a :class:`~repro.storage.StreamStorage`
+backend.  The in-memory :class:`~repro.storage.ColumnarStorage` default
+is bit-identical to the historical layout — same fingerprints, same
+cache keys — while :class:`~repro.storage.PartitionedStorage` keeps
+events sharded on disk as sorted per-time-range ``.npz`` column files
+under a JSON manifest.  Metadata queries (``num_events``, ``t_min``/
+``t_max``, ``fingerprint()``) answer straight from the manifest without
+touching event bytes, and ``slice_time`` opens only the partitions
+overlapping the requested range (``repro.storage.STORAGE_COUNTS``
+instruments opens/prunes/materializations).
+
+The catalog layer (:mod:`repro.datasets.catalog`) names such stores:
+``repro datasets ingest mytrace --events trace.tsv.gz`` cuts a raw
+event file into partitions under ``$REPRO_DATASETS_DIR/mytrace``
+(chunked reading, ``REPRO_INGEST_CHUNK_EVENTS``; partition size,
+``REPRO_PARTITION_EVENTS``), recording content hashes per partition and
+the stream fingerprint in the manifest.  ``repro datasets list | info
+[--verify] | index`` inspect, integrity-check, and rebuild the
+manifest; :func:`~repro.datasets.open_dataset` returns a lazy
+partition-backed stream whose analyses are bit-identical to the
+in-memory ones on both scan kernels — cache entries warmed by either
+serve the other.  Corruption never passes silently: a missing or
+bit-flipped partition raises
+:class:`~repro.utils.errors.StorageError` naming the exact file.
+
+Sweeps prune with the storage: ``plan_measure_sweep(deltas, measures,
+span=(start, end))`` (or ``AnalysisTask(..., span=...)``) restricts
+every task to the half-open time span *through the backend*, so a
+catalog-backed sweep loads exactly the partitions its windows cover —
+``benchmarks/bench_ablation_out_of_core.py`` counter-asserts the
+pruning and pins the allocation peak below full materialization.
+Span-less tasks keep their historical cache keys byte for byte.  The
+daemon joins in through ``POST /v1/datasets``
+(:meth:`~repro.service.ServiceClient.register_dataset`): a catalog
+dataset registers by name without materializing, and jobs against it
+slice partitions on demand.
+
 Serving analyses
 ----------------
 Every one-shot ``repro analyze`` pays process startup and cold caches.
@@ -311,9 +365,9 @@ gating job next to the tests:
   key-shape changes are invalidated by a reviewable bump.  Rules:
   ``cache-key-unhashed-field``, ``cache-key-scoring-fields``,
   ``cache-key-version``.
-* **Determinism.**  In ``engine/``, ``temporal/``, ``graphseries/``
-  and ``core/`` results are pure functions of the stream and the
-  parameters: no iteration over sets without ``sorted(...)``, no
+* **Determinism.**  In ``engine/``, ``temporal/``, ``graphseries/``,
+  ``core/`` and ``storage/`` results are pure functions of the stream
+  and the parameters: no iteration over sets without ``sorted(...)``, no
   ``random.*`` / ``time.time()`` / ``id()`` / ``hash()`` (randomness
   routes through :mod:`repro.utils.rng`, clocks are explicit and
   monotonic), no float accumulation inside integer-exact collectors —
@@ -324,9 +378,11 @@ gating job next to the tests:
   backward scan (PR 2), so it must also define in-place ``merge`` and
   the ``empty`` property, or shard reassembly silently drops its
   state.  Rules: ``collector-contract``, ``collector-merge-inplace``.
-* **Lock discipline.**  In ``engine/`` and ``service/`` (the daemon of
-  PR 5) — and in ``tests/``, whose lock-owning doubles model those
-  classes — a lock-owning class writes its private state only inside
+* **Lock discipline.**  In ``engine/``, ``service/`` (the daemon of
+  PR 5) and ``storage/`` (whose lazily-cached columns are shared
+  across service threads) — and in ``tests/``, whose lock-owning
+  doubles model those classes — a lock-owning class writes its private
+  state only inside
   ``with self.<lock>:`` (or ``__init__``; helpers called with the lock
   held are named ``*_locked``), and the cross-module lock-acquisition
   order must be acyclic.  Rules: ``unlocked-attribute-write``,

@@ -13,7 +13,11 @@ Commands
               edge-list row per (window, u, v).
 ``generate``  produce a synthetic stream (time-uniform, two-mode, or a
               dataset replica) as a TSV event file.
-``datasets``  list the built-in dataset replicas and their statistics.
+``datasets``  list the built-in dataset replicas and manage the
+              out-of-core dataset catalog: ``ingest`` shards an event
+              file into sorted ``.npz`` partitions with a JSON manifest,
+              ``info`` prints a dataset's manifest summary, ``index``
+              rebuilds the manifest from the partition files on disk.
 ``measures``  introspect the measure registry (``list`` prints every
               registered measure with its parameter schema, types, and
               defaults — entry-point plugins included; ``--format json``
@@ -47,7 +51,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.core import analyze_stream, log_delta_grid
-from repro.datasets import available_datasets, dataset_spec, load
+from repro.datasets import available_datasets, catalog, dataset_spec, load
 from repro.engine import (
     CACHE_DIR_ENV_VAR,
     CACHE_MAX_BYTES_ENV_VAR,
@@ -74,6 +78,7 @@ from repro.linkstream import read_csv, read_tsv, write_tsv
 from repro.linkstream.stream import LinkStream
 from repro.reporting import render_analysis
 from repro.service import ServiceClient, serve
+from repro.storage import partitioned
 from repro.utils.errors import ReproError
 from repro.utils.timeunits import format_duration, parse_duration
 
@@ -309,6 +314,39 @@ def _cache_prewarm(args: argparse.Namespace) -> int:
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
+    action = args.action
+    if action == "list":
+        return _cmd_datasets_list(args)
+    if action == "info":
+        return _cmd_datasets_info(args)
+    if action == "ingest":
+        return _cmd_datasets_ingest(args)
+    if action == "index":
+        return _cmd_datasets_index(args)
+    raise ReproError(f"unknown datasets action {action!r}")
+
+
+def _catalog_root_or_none(args: argparse.Namespace) -> str | None:
+    if args.root is not None:
+        return args.root
+    return os.environ.get(catalog.CATALOG_ROOT_ENV_VAR) or None
+
+
+def _print_catalog_summary(info: dict) -> None:
+    window = (
+        f" over [{info['t_min']}, {info['t_max']}]"
+        if info["t_min"] is not None
+        else ""
+    )
+    print(
+        f"  {info['name']:>14}: {info['nodes']} nodes, "
+        f"{info['events']} events{window}; "
+        f"{info['partitions']} partitions, "
+        f"{'directed' if info['directed'] else 'undirected'}"
+    )
+
+
+def _cmd_datasets_list(args: argparse.Namespace) -> int:
     print("built-in dataset replicas (paper Section 5):")
     for name in available_datasets():
         spec = dataset_spec(name)
@@ -318,6 +356,89 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
             f"activity {spec.activity_paper}/person/day, "
             f"paper gamma {spec.gamma_paper_hours:g} h"
         )
+    root = _catalog_root_or_none(args)
+    if root is None:
+        print(
+            "\nno dataset catalog configured "
+            f"(set {catalog.CATALOG_ROOT_ENV_VAR} or pass --root to list "
+            "ingested datasets)"
+        )
+        return 0
+    entries = catalog.list_datasets(root)
+    print(f"\ncatalog datasets under {root}:")
+    if not entries:
+        print("  (none ingested yet — see `repro datasets ingest`)")
+    for info in entries:
+        _print_catalog_summary(info)
+    return 0
+
+
+def _cmd_datasets_info(args: argparse.Namespace) -> int:
+    if not args.target:
+        raise ReproError("datasets info needs a dataset name")
+    root = catalog.catalog_root(_catalog_root_or_none(args))
+    info = catalog.dataset_info(args.target, root=root)
+    for key in (
+        "name",
+        "events",
+        "timestamps",
+        "nodes",
+        "directed",
+        "time_dtype",
+        "t_min",
+        "t_max",
+        "partitions",
+        "fingerprint",
+        "manifest_digest",
+    ):
+        print(f"{key:>16}: {info[key]}")
+    if args.verify:
+        stream = catalog.open_dataset(args.target, root=root, verify=True)
+        # Touching the columns forces every partition through its
+        # content-hash check; corruption raises naming the file.
+        stream.storage.columns()
+        print(f"{'verify':>16}: all {info['partitions']} partitions ok")
+    return 0
+
+
+def _cmd_datasets_ingest(args: argparse.Namespace) -> int:
+    if not args.target:
+        raise ReproError("datasets ingest needs a dataset name")
+    if not args.events:
+        raise ReproError("datasets ingest needs --events <file>")
+    root = catalog.catalog_root(_catalog_root_or_none(args))
+    manifest = catalog.ingest_file(
+        args.events,
+        args.target,
+        root=root,
+        fmt=args.format,
+        columns=args.columns,
+        directed=not args.undirected,
+        partition_events=args.partition_events,
+        overwrite=args.force,
+    )
+    print(
+        f"ingested {args.events} as {args.target!r}: "
+        f"{manifest['num_events']} events, {manifest['num_nodes']} nodes, "
+        f"{len(manifest['partitions'])} partitions under "
+        f"{catalog.dataset_dir(args.target, root)}"
+    )
+    print(f"     fingerprint: {manifest['fingerprint']}")
+    print(f" manifest digest: {manifest['manifest_digest']}")
+    return 0
+
+
+def _cmd_datasets_index(args: argparse.Namespace) -> int:
+    if not args.target:
+        raise ReproError("datasets index needs a dataset name")
+    root = catalog.catalog_root(_catalog_root_or_none(args))
+    manifest = catalog.reindex_dataset(args.target, root=root)
+    print(
+        f"reindexed {args.target!r}: {manifest['num_events']} events in "
+        f"{len(manifest['partitions'])} partitions"
+    )
+    print(f"     fingerprint: {manifest['fingerprint']}")
+    print(f" manifest digest: {manifest['manifest_digest']}")
     return 0
 
 
@@ -543,7 +664,69 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.set_defaults(func=_cmd_generate)
 
-    datasets = sub.add_parser("datasets", help="list built-in dataset replicas")
+    datasets = sub.add_parser(
+        "datasets",
+        help="list replicas and manage the partitioned dataset catalog",
+        description="List the built-in dataset replicas and manage the "
+        "out-of-core dataset catalog.  'list' (the default) prints the "
+        "replicas plus any ingested catalog datasets; 'ingest' shards an "
+        "event file into sorted .npz partitions with a JSON manifest; "
+        "'info' prints a dataset's manifest summary (--verify re-hashes "
+        "every partition); 'index' rebuilds the manifest from the "
+        "partition files on disk.  The catalog root comes from --root or "
+        f"the {catalog.CATALOG_ROOT_ENV_VAR} environment variable.",
+    )
+    datasets.add_argument(
+        "action",
+        nargs="?",
+        default="list",
+        choices=("list", "info", "ingest", "index"),
+        help="catalog action (default: list)",
+    )
+    datasets.add_argument(
+        "target", nargs="?", help="catalog dataset name (info/ingest/index)"
+    )
+    datasets.add_argument(
+        "--root",
+        default=None,
+        help="catalog root directory "
+        f"(default: ${catalog.CATALOG_ROOT_ENV_VAR})",
+    )
+    datasets.add_argument(
+        "--events", default=None, help="event file to ingest"
+    )
+    datasets.add_argument(
+        "--format",
+        choices=("tsv", "csv", "jsonl"),
+        default="tsv",
+        help="event-file format for ingest (default: tsv)",
+    )
+    datasets.add_argument(
+        "--columns", default="u v t", help="column order (default: 'u v t')"
+    )
+    datasets.add_argument(
+        "--undirected",
+        action="store_true",
+        help="ingest the stream as undirected",
+    )
+    datasets.add_argument(
+        "--partition-events",
+        type=int,
+        default=None,
+        help="target events per partition "
+        f"(default: ${partitioned.PARTITION_EVENTS_ENV_VAR} or "
+        f"{partitioned.DEFAULT_PARTITION_EVENTS})",
+    )
+    datasets.add_argument(
+        "--force",
+        action="store_true",
+        help="replace an existing catalog dataset on ingest",
+    )
+    datasets.add_argument(
+        "--verify",
+        action="store_true",
+        help="with info: re-hash every partition against the manifest",
+    )
     datasets.set_defaults(func=_cmd_datasets)
 
     measures = sub.add_parser(

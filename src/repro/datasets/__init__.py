@@ -7,6 +7,15 @@ node count, event count, span and per-capita activity (see DESIGN.md §3
 for the substitution argument).
 """
 
+from repro.datasets.catalog import (
+    CATALOG_ROOT_ENV_VAR,
+    dataset_info,
+    ingest_file,
+    ingest_stream,
+    list_datasets,
+    open_dataset,
+    reindex_dataset,
+)
 from repro.datasets.registry import (
     DATASETS,
     DatasetSpec,
@@ -16,9 +25,16 @@ from repro.datasets.registry import (
 )
 
 __all__ = [
+    "CATALOG_ROOT_ENV_VAR",
     "DATASETS",
     "DatasetSpec",
     "available_datasets",
+    "dataset_info",
     "dataset_spec",
+    "ingest_file",
+    "ingest_stream",
+    "list_datasets",
     "load",
+    "open_dataset",
+    "reindex_dataset",
 ]

@@ -139,6 +139,38 @@ def _origin_token(origin: float | None) -> str | None:
     return None if origin is None else repr(float(origin))
 
 
+def _span_token(span: tuple[float, float]) -> tuple[str, str]:
+    return (repr(float(span[0])), repr(float(span[1])))
+
+
+def _check_span(span: tuple[float, float] | None) -> None:
+    if span is None:
+        return
+    if len(span) != 2:
+        raise EngineError(f"span must be a (start, end) pair, got {span!r}")
+    start, end = float(span[0]), float(span[1])
+    if not (np.isfinite(start) and np.isfinite(end)) or start >= end:
+        raise EngineError(
+            f"span must be a finite (start, end) pair with start < end, "
+            f"got {span!r}"
+        )
+
+
+def _restrict_span(
+    stream: LinkStream, span: tuple[float, float] | None
+) -> LinkStream:
+    """The sub-stream a spanned task evaluates.
+
+    ``slice_time`` asks the storage backend for exactly the half-open
+    time range the task's windows cover — on a partitioned backend only
+    the overlapping partitions are ever loaded, which is what makes a
+    narrow-span sweep over an out-of-core dataset cheap.
+    """
+    if span is None:
+        return stream
+    return stream.slice_time(float(span[0]), float(span[1]))
+
+
 @dataclass(frozen=True)
 class AnalysisTask(DeltaTask):
     """Aggregate at Δ once, scan once, emit one result per measure.
@@ -157,6 +189,13 @@ class AnalysisTask(DeltaTask):
     measures: tuple[MeasureSpec, ...] = ()
     include_self: bool = False
     origin: float | None = None
+    #: Optional half-open ``(start, end)`` time span: the task evaluates
+    #: the sub-stream of events with ``start <= t < end`` (sliced via
+    #: the storage backend, so partitioned datasets load only the
+    #: overlapping partitions).  ``None`` — the default, and the only
+    #: value older plans ever produced — evaluates the full stream and
+    #: leaves every cache key byte-identical to before spans existed.
+    span: tuple[float, float] | None = None
 
     def __post_init__(self) -> None:
         if not self.measures:
@@ -164,17 +203,25 @@ class AnalysisTask(DeltaTask):
         names = [m.name for m in self.measures]
         if len(set(names)) != len(names):
             raise EngineError(f"duplicate measure names in task: {names}")
+        _check_span(self.span)
+        if self.span is not None:
+            object.__setattr__(
+                self, "span", (float(self.span[0]), float(self.span[1]))
+            )
 
     @property
     def kind(self) -> str:
         return "analysis"
 
     def _token(self) -> tuple:
-        return (
+        token = (
             tuple((m.name, m.token()) for m in self.measures),
             self.include_self,
             _origin_token(self.origin),
         )
+        if self.span is not None:
+            token += (("span", _span_token(self.span)),)
+        return token
 
     # -- per-measure cache identity ---------------------------------------
 
@@ -184,19 +231,22 @@ class AnalysisTask(DeltaTask):
         Depends only on the stream, Δ, the task-level scan parameters,
         and *that* measure — never on which other measures ride the same
         fused task — so any sweep requesting the measure at this Δ reuses
-        the entry, fused or not, sharded or not.
+        the entry, fused or not, sharded or not.  A task with a time
+        span appends the span to the payload (span-less keys stay
+        byte-identical to every release before spans existed).
         """
-        payload = repr(
-            (
-                EVAL_VERSION,
-                "measure",
-                repr(self.delta),
-                self.include_self,
-                _origin_token(self.origin),
-                measure.name,
-                measure.token(),
-            )
+        fields: tuple = (
+            EVAL_VERSION,
+            "measure",
+            repr(self.delta),
+            self.include_self,
+            _origin_token(self.origin),
+            measure.name,
+            measure.token(),
         )
+        if self.span is not None:
+            fields += (("span", _span_token(self.span)),)
+        payload = repr(fields)
         digest = hashlib.sha256()
         digest.update(stream_fingerprint.encode())
         digest.update(payload.encode())
@@ -217,6 +267,7 @@ class AnalysisTask(DeltaTask):
             measures=subset,
             include_self=self.include_self,
             origin=self.origin,
+            span=self.span,
         )
 
     def split_result(self, value: dict) -> list:
@@ -228,6 +279,7 @@ class AnalysisTask(DeltaTask):
     # -- evaluation --------------------------------------------------------
 
     def evaluate(self, stream: LinkStream) -> dict:
+        stream = _restrict_span(stream, self.span)
         session = IncrementalScanSession(
             stream,
             delta=float(self.delta),
@@ -282,6 +334,7 @@ class AnalysisTask(DeltaTask):
                 measures=self.measures,
                 include_self=self.include_self,
                 origin=self.origin,
+                span=self.span,
                 shard_index=index,
                 num_shards=num_shards,
             )
@@ -378,6 +431,7 @@ class AnalysisShardTask(DeltaTask):
     measures: tuple[MeasureSpec, ...] = ()
     include_self: bool = False
     origin: float | None = None
+    span: tuple[float, float] | None = None
     shard_index: int = 0
     num_shards: int = 1
 
@@ -390,6 +444,11 @@ class AnalysisShardTask(DeltaTask):
             raise EngineError(
                 f"shard_index {self.shard_index} out of range "
                 f"[0, {self.num_shards})"
+            )
+        _check_span(self.span)
+        if self.span is not None:
+            object.__setattr__(
+                self, "span", (float(self.span[0]), float(self.span[1]))
             )
 
     @property
@@ -424,9 +483,12 @@ class AnalysisShardTask(DeltaTask):
             _origin_token(self.origin),
             self.shard_index,
             self.num_shards,
+        ) + (
+            (("span", _span_token(self.span)),) if self.span is not None else ()
         )
 
     def evaluate(self, stream: LinkStream) -> AnalysisShardResult:
+        stream = _restrict_span(stream, self.span)
         session = IncrementalScanSession(
             stream,
             delta=float(self.delta),
@@ -475,6 +537,7 @@ def plan_measure_sweep(
     *,
     include_self: bool = False,
     origin: float | None = None,
+    span: tuple[float, float] | None = None,
 ) -> list[AnalysisTask]:
     """One fused :class:`AnalysisTask` per candidate Δ, in grid order.
 
@@ -482,6 +545,9 @@ def plan_measure_sweep(
     ``"trips:max_samples=64"`` included),
     :class:`~repro.engine.measures.MeasureSpec` instances, or a mix;
     every Δ evaluates the whole set from one aggregation and one scan.
+    ``span`` restricts every task to the half-open ``(start, end)``
+    time range — the out-of-core entry point: on a catalog-backed
+    stream only the partitions overlapping the span are loaded.
     """
     measure_set = normalize_measures(measures)
     return [
@@ -490,6 +556,7 @@ def plan_measure_sweep(
             measures=measure_set,
             include_self=include_self,
             origin=origin,
+            span=span,
         )
         for delta in np.asarray(deltas, dtype=np.float64)
     ]

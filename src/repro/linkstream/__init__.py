@@ -8,7 +8,9 @@ stream surgery operations and descriptive statistics.
 
 from repro.linkstream.intervals import IntervalStream
 from repro.linkstream.io import (
+    iter_triples,
     read_csv,
+    read_event_arrays,
     read_jsonl,
     read_tsv,
     write_csv,
@@ -44,6 +46,8 @@ __all__ = [
     "write_csv",
     "read_jsonl",
     "write_jsonl",
+    "read_event_arrays",
+    "iter_triples",
     "concatenate",
     "deduplicate",
     "relabel",

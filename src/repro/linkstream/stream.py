@@ -7,6 +7,14 @@ downstream algorithm (aggregation, reachability) expects.
 
 Timestamps may be integers or floats; the paper's method works for both
 discrete and continuous time (Section 2).
+
+Since the storage refactor the arrays live behind a pluggable
+:class:`repro.storage.StreamStorage` backend: ``LinkStream`` keeps the
+semantics (validation, canonical sort, labels, fingerprints) and
+delegates the bytes.  Streams built directly wrap an in-memory
+:class:`~repro.storage.ColumnarStorage`; catalog datasets opened via
+:func:`repro.datasets.catalog.open_dataset` wrap a lazy
+:class:`~repro.storage.PartitionedStorage` — bit-identical either way.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from collections.abc import Hashable, Iterable, Iterator
 
 import numpy as np
 
+from repro.storage.base import StreamStorage
+from repro.storage.columnar import ColumnarStorage, freeze_columns
 from repro.utils.errors import AppendOrderError, LinkStreamError
 
 
@@ -40,9 +50,7 @@ class LinkStream:
     """
 
     __slots__ = (
-        "_u",
-        "_v",
-        "_t",
+        "_storage",
         "_directed",
         "_num_nodes",
         "_labels",
@@ -96,12 +104,9 @@ class LinkStream:
             u_arr, v_arr = np.where(swap, v_arr, u_arr), np.where(swap, u_arr, v_arr)
 
         order = np.lexsort((v_arr, u_arr, t_arr))
-        self._u = u_arr[order]
-        self._v = v_arr[order]
-        self._t = t_arr[order]
-        self._u.setflags(write=False)
-        self._v.setflags(write=False)
-        self._t.setflags(write=False)
+        self._storage = ColumnarStorage(
+            *freeze_columns(u_arr[order], v_arr[order], t_arr[order])
+        )
         self._directed = bool(directed)
         self._num_nodes = int(num_nodes)
 
@@ -158,7 +163,73 @@ class LinkStream:
             ts.append(t)
         return cls(us, vs, ts, directed=directed, num_nodes=len(labels), labels=labels)
 
+    @classmethod
+    def from_storage(
+        cls,
+        storage: StreamStorage,
+        *,
+        directed: bool = True,
+        num_nodes: int,
+        labels: Iterable[Hashable] | None = None,
+        fingerprint: str | None = None,
+    ) -> "LinkStream":
+        """Wrap an existing storage backend as a stream (trusted path).
+
+        The backend's columns must already be in canonical
+        ``lexsort((v, u, t))`` order with validation done (undirected
+        pairs canonicalized, no self-loops) — exactly what every
+        :class:`~repro.storage.StreamStorage` implementation guarantees.
+        No per-event work happens here, so a lazy backend stays lazy:
+        ``num_events``/``t_min``/``t_max`` answer from metadata, and the
+        event bytes load only when an algorithm touches the columns.
+
+        ``fingerprint`` pre-seeds the content hash (a catalog manifest
+        records the one computed at ingest), letting engine cache keys
+        be derived without materializing anything.
+        """
+        stream = object.__new__(cls)
+        stream._storage = storage
+        stream._directed = bool(directed)
+        stream._num_nodes = int(num_nodes)
+        if labels is not None:
+            label_list = list(labels)
+            if len(label_list) != stream._num_nodes:
+                raise LinkStreamError(
+                    f"labels has {len(label_list)} entries for "
+                    f"{stream._num_nodes} nodes"
+                )
+            stream._labels = label_list
+        else:
+            stream._labels = None
+        stream._label_index = None
+        stream._distinct_t = None
+        stream._resolution = None
+        stream._fingerprint = fingerprint
+        stream._chain = tuple(storage.fingerprint_chain())
+        return stream
+
     # -- basic accessors ---------------------------------------------------
+
+    @property
+    def storage(self) -> StreamStorage:
+        """The :class:`~repro.storage.StreamStorage` backend holding the
+        event columns."""
+        return self._storage
+
+    # The private column aliases below are how the rest of this class
+    # (and only this class — no other module touches them) reads the
+    # event arrays; they force a lazy backend to materialize.
+    @property
+    def _u(self) -> np.ndarray:
+        return self._storage.sources
+
+    @property
+    def _v(self) -> np.ndarray:
+        return self._storage.targets
+
+    @property
+    def _t(self) -> np.ndarray:
+        return self._storage.timestamps
 
     @property
     def num_nodes(self) -> int:
@@ -168,7 +239,7 @@ class LinkStream:
     @property
     def num_events(self) -> int:
         """Number of triplets in the stream (with multiplicity)."""
-        return self._t.size
+        return self._storage.num_events
 
     @property
     def directed(self) -> bool:
@@ -199,16 +270,18 @@ class LinkStream:
     @property
     def t_min(self) -> float:
         """Earliest event time (raises on an empty stream)."""
-        if not self._t.size:
+        bounds = self._storage.time_range()
+        if bounds is None:
             raise LinkStreamError("empty stream has no t_min")
-        return self._t[0].item()
+        return bounds[0]
 
     @property
     def t_max(self) -> float:
         """Latest event time (raises on an empty stream)."""
-        if not self._t.size:
+        bounds = self._storage.time_range()
+        if bounds is None:
             raise LinkStreamError("empty stream has no t_max")
-        return self._t[-1].item()
+        return bounds[1]
 
     @property
     def span(self) -> float:
@@ -220,8 +293,9 @@ class LinkStream:
 
     def __repr__(self) -> str:
         kind = "directed" if self._directed else "undirected"
-        if self.num_events:
-            window = f", over [{self._t[0]}, {self._t[-1]}]"
+        bounds = self._storage.time_range()
+        if bounds is not None:
+            window = f", over [{bounds[0]}, {bounds[1]}]"
         else:
             window = ""
         return (
@@ -307,7 +381,8 @@ class LinkStream:
         if self._fingerprint is None:
             digest = hashlib.sha256()
             digest.update(
-                f"v1|{int(self._directed)}|{self._num_nodes}|{self._t.dtype.str}|".encode()
+                f"v1|{int(self._directed)}|{self._num_nodes}|"
+                f"{self._storage.time_dtype.str}|".encode()
             )
             digest.update(self._u.tobytes())
             digest.update(self._v.tobytes())
@@ -353,7 +428,8 @@ class LinkStream:
                 return known
         digest = hashlib.sha256()
         digest.update(
-            f"v1|{int(self._directed)}|{self._num_nodes}|{self._t.dtype.str}|".encode()
+            f"v1|{int(self._directed)}|{self._num_nodes}|"
+            f"{self._storage.time_dtype.str}|".encode()
         )
         digest.update(self._u[:num_events].tobytes())
         digest.update(self._v[:num_events].tobytes())
@@ -462,12 +538,32 @@ class LinkStream:
     # -- derived streams -----------------------------------------------------
 
     def restrict_time(self, start: float, end: float, *, half_open: bool = True) -> "LinkStream":
-        """Sub-stream of events with ``start <= t < end`` (or ``<= end``)."""
-        if half_open:
-            mask = (self._t >= start) & (self._t < end)
-        else:
-            mask = (self._t >= start) & (self._t <= end)
-        return self._replace_events(self._u[mask], self._v[mask], self._t[mask])
+        """Sub-stream of events with ``start <= t < end`` (or ``<= end``).
+
+        Alias of :meth:`slice_time` (kept for the historical name): the
+        time-major canonical order makes the restriction a contiguous
+        row range, so it is answered by the storage backend without a
+        mask scan — and without loading non-overlapping partitions on
+        out-of-core backends.
+        """
+        return self.slice_time(start, end, half_open=half_open)
+
+    def slice_time(self, start: float, end: float, *, half_open: bool = True) -> "LinkStream":
+        """Sub-stream of events with ``start <= t < end`` (or ``<= end``).
+
+        Delegates to :meth:`StreamStorage.slice_time`: the node set,
+        labels, and directedness are preserved (as ``restrict_time``
+        always did), and on a :class:`~repro.storage.PartitionedStorage`
+        backend only the partitions overlapping the range are ever
+        loaded — this is the engine's narrow-span entry point.
+        """
+        sliced = self._storage.slice_time(start, end, half_open=half_open)
+        return LinkStream.from_storage(
+            sliced,
+            directed=self._directed,
+            num_nodes=self._num_nodes,
+            labels=self._labels,
+        )
 
     def restrict_nodes(self, labels: Iterable[Hashable]) -> "LinkStream":
         """Sub-stream induced by a node subset; nodes are re-indexed densely."""

@@ -1,9 +1,11 @@
 """Determinism rules for the evaluation paths.
 
-Scope: modules under ``engine/``, ``temporal/``, ``graphseries/`` and
-``core/`` — everything a Δ evaluation's result can flow through.  The
-contract is that results are pure functions of the stream and the
-parameters: same input, same bits, on every backend and shard layout.
+Scope: modules under ``engine/``, ``temporal/``, ``graphseries/``,
+``core/`` and ``storage/`` — everything a Δ evaluation's result can
+flow through, including the stream-storage backends whose column loads
+and fingerprints feed every cache key.  The contract is that results
+are pure functions of the stream and the parameters: same input, same
+bits, on every backend and shard layout.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from repro.lint.base import (
 )
 from repro.lint.findings import Finding
 
-_SCOPE = ("engine", "temporal", "graphseries", "core")
+_SCOPE = ("engine", "temporal", "graphseries", "core", "storage")
 
 
 class _DeterminismRule(Rule):

@@ -1,11 +1,12 @@
 """Lock-discipline rules for the concurrency core.
 
-Scope: ``engine/`` and ``service/`` — the job queue, caches, backends
-and the daemon, where one warm process serves many clients and a
-missed lock is a data race on shared sweep state — plus ``tests/``,
-so the lock-owning test doubles (fake backends, counting evaluators,
-service fixtures) honour the same discipline instead of rotting into
-bad examples of it.
+Scope: ``engine/``, ``service/`` and ``storage/`` — the job queue,
+caches, backends and the daemon, where one warm process serves many
+clients and a missed lock is a data race on shared sweep state, and
+the storage backends whose lazily-cached columns are shared across
+service threads — plus ``tests/``, so the lock-owning test doubles
+(fake backends, counting evaluators, service fixtures) honour the
+same discipline instead of rotting into bad examples of it.
 
 Two contracts:
 
@@ -33,7 +34,7 @@ from repro.lint.base import (
 )
 from repro.lint.findings import Finding
 
-_SCOPE = ("engine", "service", "tests")
+_SCOPE = ("engine", "service", "tests", "storage")
 
 #: Methods assumed to run with the instance lock already held (convention)
 #: or before the instance is shared.

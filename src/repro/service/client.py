@@ -131,6 +131,19 @@ class ServiceClient:
         )
         return response["fingerprint"]
 
+    def register_dataset(
+        self, name: str, *, root: str | None = None, verify: bool = False
+    ) -> str:
+        """Register a partitioned catalog dataset by name (the daemon
+        resolves ``root`` or its own ``REPRO_DATASETS_DIR``); returns the
+        stream's fingerprint without materializing any partition."""
+        payload: dict = {"name": name, "verify": verify}
+        if root is not None:
+            payload["root"] = root
+        return self._request("POST", "/v1/datasets", json_body=payload)[
+            "fingerprint"
+        ]
+
     def streams(self) -> list[dict]:
         return self._request("GET", "/v1/streams")["streams"]
 

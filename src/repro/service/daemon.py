@@ -19,7 +19,13 @@ API sketch (all JSON unless noted)::
                                  query: columns, format, directed
                                  -> {"fingerprint": ...}   (idempotent)
     GET    /v1/streams           registered streams
-    POST   /v1/append            {"fingerprint", "events": [[u, v, t], ...]}
+    POST   /v1/datasets          {"name", "root"?, "verify"?} — register a
+                                 dataset from the partitioned catalog
+                                 (:mod:`repro.datasets.catalog`) without
+                                 materializing it; partitions load lazily
+                                 when the first analysis touches them
+                                 -> {"fingerprint": ...}
+    POST   /v1/append           {"fingerprint", "events": [[u, v, t], ...]}
                                  -> {"fingerprint": grown, "parent": ...};
                                  the grown stream registers alongside its
                                  parent and analyses of it reuse the
@@ -63,6 +69,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core import analyze_stream, log_delta_grid
+from repro.datasets import open_dataset
 from repro.engine import (
     JobQueue,
     SweepCache,
@@ -174,6 +181,21 @@ class AnalysisService:
             stream = reader(handle.name, columns=columns, directed=directed)
         finally:
             os.unlink(handle.name)
+        return self.register_stream(stream)
+
+    def register_dataset(
+        self, name: str, *, root: str | None = None, verify: bool = False
+    ) -> str:
+        """Register a dataset from the partitioned catalog by name.
+
+        The stream arrives as a lazy :class:`PartitionedStorage` handle:
+        its fingerprint comes from the catalog manifest, so registration
+        opens no partition files, and analyses load only the partitions
+        their windows overlap.  Cache keys match the in-memory stream's
+        bit for bit, so a sweep warmed offline serves here without a
+        single scan.
+        """
+        stream = open_dataset(name, root=root, verify=verify)
         return self.register_stream(stream)
 
     def stream(self, fingerprint: str) -> LinkStream:
@@ -530,6 +552,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 directed=query.get("directed", "1") not in ("0", "false", "no"),
             )
             self._send_json(201, {"fingerprint": fingerprint})
+        elif route == ("POST", "datasets"):
+            payload = self._read_json()
+            name = payload.get("name")
+            if not name:
+                raise ServiceError(
+                    "missing 'name' (a catalog dataset name)", status=400
+                )
+            fingerprint = service.register_dataset(
+                name,
+                root=payload.get("root"),
+                verify=bool(payload.get("verify", False)),
+            )
+            self._send_json(201, {"fingerprint": fingerprint, "name": name})
         elif route == ("POST", "append"):
             payload = self._read_json()
             fingerprint = payload.get("fingerprint")

@@ -1,0 +1,26 @@
+"""Pluggable columnar event storage for link streams.
+
+See :mod:`repro.storage.base` for the :class:`StreamStorage` contract,
+:mod:`repro.storage.columnar` for the in-memory default backend, and
+:mod:`repro.storage.partitioned` for the out-of-core time-partitioned
+backend behind the ``repro datasets`` catalog.
+"""
+
+from repro.storage.base import STORAGE_COUNTS, StreamStorage
+from repro.storage.columnar import ColumnarStorage
+from repro.storage.partitioned import (
+    DEFAULT_PARTITION_EVENTS,
+    MANIFEST_NAME,
+    PARTITION_EVENTS_ENV_VAR,
+    PartitionedStorage,
+)
+
+__all__ = [
+    "DEFAULT_PARTITION_EVENTS",
+    "MANIFEST_NAME",
+    "PARTITION_EVENTS_ENV_VAR",
+    "STORAGE_COUNTS",
+    "ColumnarStorage",
+    "PartitionedStorage",
+    "StreamStorage",
+]

@@ -1,0 +1,157 @@
+"""The :class:`StreamStorage` contract.
+
+:class:`~repro.linkstream.LinkStream` owns the *semantics* of a link
+stream (validation, canonical sort order, labels, fingerprints) while a
+``StreamStorage`` backend owns the *bytes*: the three sorted columnar
+numpy arrays ``(sources, targets, timestamps)``.  The contract is
+modeled on openDG's ``DGStorage`` — backends implement
+``from_events`` / ``to_events`` / ``slice_time`` / ``slice_nodes`` /
+``num_events`` / ``num_timestamps`` / ``time_range`` /
+``fingerprint_chain`` — so alternative layouts (in-memory columns,
+time-partitioned files on disk) slot under ``LinkStream`` unchanged.
+
+Invariant shared by every backend: the event columns are presented in
+the canonical ``lexsort((v, u, t))`` order (time-major), exactly the
+order ``LinkStream`` itself would produce, and the arrays returned by
+:meth:`StreamStorage.columns` are read-only.  That invariant is what
+makes backends interchangeable *bit for bit*: fingerprints, cache keys,
+and every downstream algorithm see identical arrays regardless of where
+the bytes live.
+
+``STORAGE_COUNTS`` instruments the backends (same style as
+``AGGREGATION_COUNTS`` / ``SCAN_COUNTS``): tests and benches snapshot
+it to prove that a time-sliced task materializes only the partitions
+its windows overlap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+#: Instrumentation counters, incremented by the storage backends:
+#:
+#: ``slice_time``
+#:     number of ``slice_time`` calls answered by any backend;
+#: ``partitions_opened``
+#:     partition files actually read from disk;
+#: ``partitions_pruned``
+#:     partition files skipped by a ``slice_time`` because their time
+#:     span cannot overlap the requested range;
+#: ``materializations``
+#:     times a :class:`~repro.storage.PartitionedStorage` concatenated
+#:     its (remaining) partitions into in-memory columns.
+STORAGE_COUNTS = {
+    "slice_time": 0,
+    "partitions_opened": 0,
+    "partitions_pruned": 0,
+    "materializations": 0,
+}
+
+
+class StreamStorage(ABC):
+    """Abstract columnar event storage behind :class:`LinkStream`.
+
+    Implementations hold (or know how to produce) three parallel arrays
+    ``sources``/``targets``/``timestamps`` in canonical time-major
+    order.  Metadata queries (:attr:`num_events`, :meth:`time_range`,
+    :attr:`time_dtype`) must not force lazy backends to load event
+    bytes; :meth:`columns` is the one explicit materialization point.
+    """
+
+    __slots__ = ()
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    @abstractmethod
+    def from_events(
+        cls, u: np.ndarray, v: np.ndarray, t: np.ndarray, **kwargs: object
+    ) -> "StreamStorage":
+        """Build a backend instance from canonical sorted columns."""
+
+    # -- metadata (never materializes) ----------------------------------
+
+    @property
+    @abstractmethod
+    def num_events(self) -> int:
+        """Number of stored events (with multiplicity)."""
+
+    @property
+    @abstractmethod
+    def time_dtype(self) -> np.dtype:
+        """Dtype of the timestamp column (``int64`` or ``float64``)."""
+
+    @abstractmethod
+    def time_range(self) -> tuple[float, float] | None:
+        """``(t_min, t_max)`` of the stored events, ``None`` if empty."""
+
+    @abstractmethod
+    def num_timestamps(self) -> int:
+        """Number of *distinct* timestamps among the stored events."""
+
+    def fingerprint_chain(self) -> tuple[tuple[int, str], ...]:
+        """Known ``(event_count, fingerprint)`` prefix boundaries.
+
+        Backends that can vouch for content fingerprints of event-count
+        prefixes (a partitioned catalog records them at partition cuts;
+        an in-memory backend carries the chain ``extend`` built) return
+        them oldest first; the default is no knowledge.
+        """
+        return ()
+
+    # -- data access -----------------------------------------------------
+
+    @abstractmethod
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(sources, targets, timestamps)`` arrays, read-only and
+        in canonical order.  Lazy backends materialize here."""
+
+    @property
+    def sources(self) -> np.ndarray:
+        return self.columns()[0]
+
+    @property
+    def targets(self) -> np.ndarray:
+        return self.columns()[1]
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self.columns()[2]
+
+    def to_events(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, t)`` index triples in canonical order.
+
+        Lazy backends override this to stream partition by partition so
+        an export never holds more than one partition in memory.
+        """
+        u, v, t = self.columns()
+        for i in range(t.size):
+            yield int(u[i]), int(v[i]), t[i].item()
+
+    # -- derived storages ------------------------------------------------
+
+    @abstractmethod
+    def slice_time(
+        self, start: float, end: float, *, half_open: bool = True
+    ) -> "StreamStorage":
+        """Storage restricted to ``start <= t < end`` (or ``<= end``).
+
+        Because the canonical order is time-major, a time slice is a
+        contiguous row range; backends return it without copying where
+        they can, and lazy backends prune partitions that cannot
+        overlap the range.
+        """
+
+    def slice_nodes(self, nodes: Sequence[int]) -> "StreamStorage":
+        """Storage keeping only events whose endpoints both lie in
+        ``nodes``.  Indices are preserved (no re-densification — that is
+        ``LinkStream.restrict_nodes``'s job)."""
+        from repro.storage.columnar import ColumnarStorage
+
+        keep = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
+        u, v, t = self.columns()
+        mask = np.isin(u, keep) & np.isin(v, keep)
+        return ColumnarStorage(u[mask], v[mask], t[mask])

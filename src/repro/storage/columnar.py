@@ -1,0 +1,113 @@
+"""In-memory columnar storage — the default :class:`LinkStream` backend.
+
+Holds the three frozen numpy arrays exactly as ``LinkStream`` always
+has; every operation is a view or a vectorized slice.  Construction is
+*trusting*: callers (the ``LinkStream`` constructor, sibling backends)
+hand over arrays already validated, canonically sorted, and frozen —
+this class never re-sorts, so wrapping adds zero per-event work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.base import STORAGE_COUNTS, StreamStorage
+from repro.utils.errors import StorageError
+
+
+def freeze_columns(
+    u: np.ndarray, v: np.ndarray, t: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mark the three column arrays read-only (shared helper)."""
+    u.setflags(write=False)
+    v.setflags(write=False)
+    t.setflags(write=False)
+    return u, v, t
+
+
+class ColumnarStorage(StreamStorage):
+    """Sorted, frozen ``(u, v, t)`` columns held in process memory."""
+
+    __slots__ = ("_u", "_v", "_t", "_num_distinct", "_chain")
+
+    def __init__(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        t: np.ndarray,
+        *,
+        chain: tuple[tuple[int, str], ...] = (),
+    ) -> None:
+        self._u = u
+        self._v = v
+        self._t = t
+        self._num_distinct: int | None = None
+        self._chain = tuple(chain)
+
+    @classmethod
+    def from_events(
+        cls, u: np.ndarray, v: np.ndarray, t: np.ndarray, **kwargs: object
+    ) -> "ColumnarStorage":
+        """Wrap canonical sorted columns (freezing them) as a backend."""
+        chain = kwargs.pop("chain", ())
+        if kwargs:
+            raise StorageError(
+                f"unknown ColumnarStorage options: {sorted(kwargs)}"
+            )
+        u = np.ascontiguousarray(u, dtype=np.int64)
+        v = np.ascontiguousarray(v, dtype=np.int64)
+        t = np.ascontiguousarray(t)
+        freeze_columns(u, v, t)
+        return cls(u, v, t, chain=tuple(chain))  # type: ignore[arg-type]
+
+    # -- metadata --------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return int(self._t.size)
+
+    @property
+    def time_dtype(self) -> np.dtype:
+        return self._t.dtype
+
+    def time_range(self) -> tuple[float, float] | None:
+        if not self._t.size:
+            return None
+        return self._t[0].item(), self._t[-1].item()
+
+    def num_timestamps(self) -> int:
+        if self._num_distinct is None:
+            self._num_distinct = int(np.unique(self._t).size)
+        return self._num_distinct
+
+    def fingerprint_chain(self) -> tuple[tuple[int, str], ...]:
+        return self._chain
+
+    # -- data access -----------------------------------------------------
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._u, self._v, self._t
+
+    # -- derived storages ------------------------------------------------
+
+    def slice_time(
+        self, start: float, end: float, *, half_open: bool = True
+    ) -> "ColumnarStorage":
+        STORAGE_COUNTS["slice_time"] += 1
+        lo, hi = time_slice_bounds(self._t, start, end, half_open=half_open)
+        return ColumnarStorage(self._u[lo:hi], self._v[lo:hi], self._t[lo:hi])
+
+
+def time_slice_bounds(
+    t: np.ndarray, start: float, end: float, *, half_open: bool
+) -> tuple[int, int]:
+    """Row range ``[lo, hi)`` of ``start <= t < end`` (or ``<= end``).
+
+    ``t`` is ascending (time is the major sort key), so the slice is a
+    contiguous range answered by two binary searches — equivalent to the
+    boolean-mask selection ``LinkStream.restrict_time`` historically
+    used, including for the boundary ties.
+    """
+    lo = int(np.searchsorted(t, start, side="left"))
+    hi = int(np.searchsorted(t, end, side="left" if half_open else "right"))
+    return lo, max(lo, hi)

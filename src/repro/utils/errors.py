@@ -22,6 +22,13 @@ class AppendOrderError(LinkStreamError):
     being silently re-sorted in."""
 
 
+class StorageError(ReproError):
+    """A stream-storage backend failed (missing or corrupt partition
+    file, malformed catalog manifest, unknown dataset...).  Messages
+    about partition problems always name the offending file so an
+    operator can re-fetch or re-ingest exactly that shard."""
+
+
 class AggregationError(ReproError):
     """Invalid aggregation request (bad window length, empty stream...)."""
 

@@ -1,0 +1,9 @@
+"""Fixture: hash-order and process-local state in a storage backend."""
+
+
+def partition_spans(files: set[str]) -> list[str]:
+    return [name for name in files]
+
+
+def partition_tag(path: str) -> int:
+    return hash(path)

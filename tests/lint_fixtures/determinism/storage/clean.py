@@ -1,0 +1,11 @@
+"""Fixture: the deterministic shapes of the same storage operations."""
+
+import hashlib
+
+
+def partition_spans(files: set[str]) -> list[str]:
+    return [name for name in sorted(files)]
+
+
+def partition_tag(path: str) -> str:
+    return hashlib.sha256(path.encode("utf-8")).hexdigest()

@@ -1,0 +1,14 @@
+"""Fixture: lazily-cached columns written outside the handle's lock."""
+
+import threading
+
+
+class RacyColumnCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._columns = None
+
+    def columns(self, loader):
+        if self._columns is None:
+            self._columns = loader()
+        return self._columns

@@ -1,0 +1,15 @@
+"""Fixture: the cached-columns handle with its write under the lock."""
+
+import threading
+
+
+class TidyColumnCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._columns = None
+
+    def columns(self, loader):
+        with self._lock:
+            if self._columns is None:
+                self._columns = loader()
+            return self._columns

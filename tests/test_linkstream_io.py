@@ -2,17 +2,21 @@
 
 import gzip
 
+import numpy as np
 import pytest
 
 from repro.linkstream import (
     LinkStream,
+    iter_triples,
     read_csv,
+    read_event_arrays,
     read_jsonl,
     read_tsv,
     write_csv,
     write_jsonl,
     write_tsv,
 )
+from repro.linkstream.io import ingest_chunk_events
 from repro.utils.errors import LinkStreamError
 
 
@@ -119,3 +123,70 @@ class TestParsing:
         path.write_text("b a 1\n")
         stream = read_tsv(path, directed=False)
         assert not stream.directed
+
+
+class TestChunkedReader:
+    @pytest.fixture
+    def events_file(self, tmp_path):
+        path = tmp_path / "events.tsv"
+        path.write_text(
+            "".join(f"n{i % 4} n{(i + 1) % 4} {i}\n" for i in range(10))
+        )
+        return path
+
+    def test_iter_triples_dispatches_formats(self, tmp_path, sample):
+        tsv, csv, jsonl = (
+            tmp_path / "e.tsv",
+            tmp_path / "e.csv",
+            tmp_path / "e.jsonl",
+        )
+        write_tsv(sample, tsv)
+        write_csv(sample, csv)
+        write_jsonl(sample, jsonl)
+        expected = list(iter_triples(tsv))
+        assert list(iter_triples(csv, fmt="csv")) == expected
+        assert list(iter_triples(jsonl, fmt="jsonl")) == expected
+        with pytest.raises(LinkStreamError, match="unknown stream format"):
+            iter_triples(tsv, fmt="xml")
+
+    @pytest.mark.parametrize("chunk_events", [1, 3, 10, 1000])
+    def test_chunk_size_never_changes_the_stream(self, events_file, chunk_events):
+        whole = read_tsv(events_file)
+        u, v, t, labels = read_event_arrays(
+            events_file, chunk_events=chunk_events
+        )
+        chunked = LinkStream(
+            u, v, t, directed=True, num_nodes=len(labels), labels=labels
+        )
+        assert chunked == whole
+        assert chunked.fingerprint() == whole.fingerprint()
+        assert labels == whole.labels  # first-seen order preserved
+        assert t.dtype == np.float64
+
+    def test_empty_file_returns_empty_columns(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# nothing here\n")
+        u, v, t, labels = read_event_arrays(path)
+        assert u.size == v.size == t.size == 0
+        assert labels == []
+        assert (u.dtype, v.dtype, t.dtype) == (
+            np.int64,
+            np.int64,
+            np.float64,
+        )
+
+    def test_chunk_env_var(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INGEST_CHUNK_EVENTS", raising=False)
+        assert ingest_chunk_events() == 65536
+        monkeypatch.setenv("REPRO_INGEST_CHUNK_EVENTS", "128")
+        assert ingest_chunk_events() == 128
+        monkeypatch.setenv("REPRO_INGEST_CHUNK_EVENTS", "-1")
+        with pytest.raises(LinkStreamError, match="REPRO_INGEST_CHUNK_EVENTS"):
+            ingest_chunk_events()
+        monkeypatch.setenv("REPRO_INGEST_CHUNK_EVENTS", "lots")
+        with pytest.raises(LinkStreamError, match="REPRO_INGEST_CHUNK_EVENTS"):
+            ingest_chunk_events()
+
+    def test_invalid_chunk_argument_rejected(self, events_file):
+        with pytest.raises(LinkStreamError, match="chunk_events"):
+            read_event_arrays(events_file, chunk_events=0)

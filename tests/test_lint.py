@@ -88,6 +88,19 @@ class TestRuleFamiliesFire:
         assert "MeanDurationCollector.record" in flagged
         assert "BatchedMeanCollector.record_batch" in flagged
 
+    def test_determinism_rules_cover_storage(self):
+        # The determinism scope includes storage/: backends feed columns
+        # and fingerprints into every cache key, so hash-order iteration
+        # and process-local hash() are flagged there too.
+        result = fixture_findings(
+            "determinism", "storage", "bad_partition_order.py"
+        )
+        assert [f.rule for f in result.active_findings] == [
+            "unsorted-set-iteration",
+            "nondeterministic-call",
+        ]
+        assert "hash()" in result.active_findings[1].message
+
     def test_collector_contract(self):
         result = fixture_findings("collector", "bad_collector.py")
         assert [f.rule for f in result.active_findings] == [
@@ -122,6 +135,15 @@ class TestRuleFamiliesFire:
         ]
         assert "_submitted" in result.active_findings[0].message
 
+    def test_unlocked_write_in_storage_backend(self):
+        # The lock scope includes storage/: a lazily-caching handle that
+        # owns a lock must write its cached columns under it.
+        result = fixture_findings("locks", "storage", "bad_cached_columns.py")
+        assert [f.rule for f in result.active_findings] == [
+            "unlocked-attribute-write"
+        ]
+        assert "_columns" in result.active_findings[0].message
+
     def test_lock_scope_excludes_unrelated_trees(self, tmp_path):
         # The same racy class outside engine/service/tests is out of
         # scope for the lock rules.
@@ -149,8 +171,10 @@ class TestRuleFamiliesFire:
         [
             ("cache", "clean.py"),
             ("determinism", "core", "clean.py"),
+            ("determinism", "storage", "clean.py"),
             ("collector", "clean.py"),
             ("locks", "engine", "clean.py"),
+            ("locks", "storage", "clean_column_cache.py"),
             ("locks", "testsuite", "clean_test_double.py"),
         ],
     )
